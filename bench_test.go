@@ -1,0 +1,235 @@
+package yinyang
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md §3 and EXPERIMENTS.md). The benchmarks
+// exercise the same code paths as cmd/experiments with smaller fixed
+// budgets so `go test -bench=.` regenerates every experiment's shape.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugdb"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+// BenchmarkFig7SeedGeneration regenerates the Figure 7 seed corpora
+// (scaled), measuring seed-generation throughput.
+func BenchmarkFig7SeedGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExperimentFig7(400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig8Campaign runs the (scaled) main bug-finding campaign of
+// Figures 8a–8c against both trunk SUTs.
+func BenchmarkFig8Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := harness.ExperimentFig8(harness.CampaignBudget{
+			Iterations: 40, SeedPool: 10, Seed: int64(i + 1), Threads: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Z3.Bugs) == 0 {
+			b.Fatal("campaign found no z3sim bugs")
+		}
+	}
+}
+
+// BenchmarkFig9Survey tabulates the historic survey (Figure 9).
+func BenchmarkFig9Survey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range bugdb.SUTs {
+			if rows := harness.ExperimentFig9(s); len(rows) == 0 {
+				b.Fatal("empty survey")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Releases maps campaign findings onto release trains
+// (Figure 10).
+func BenchmarkFig10Releases(b *testing.B) {
+	f, err := harness.ExperimentFig8(harness.CampaignBudget{
+		Iterations: 40, SeedPool: 10, Seed: 1, Threads: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := harness.ExperimentFig10(bugdb.Z3Sim, f.Z3)
+		if len(rows) != len(bugdb.Releases(bugdb.Z3Sim)) {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkFig11Coverage measures Benchmark-vs-YinYang probe coverage
+// (Figure 11) on two representative logics.
+func BenchmarkFig11Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExperimentFig11(harness.CoverageBudget{
+			Seeds: 8, Fused: 15, Seed: int64(i + 1),
+			Logics: []gen.Logic{gen.QFNRA, gen.QFS},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig12CoverageArms adds the ConcatFuzz arm (Figure 12).
+func BenchmarkFig12CoverageArms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExperimentFig12(harness.CoverageBudget{
+			Seeds: 6, Fused: 10, Seed: int64(i + 1),
+			Logics: []gen.Logic{gen.QFS},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkRQ4Retrigger replays ConcatFuzz on YinYang bug ancestors.
+func BenchmarkRQ4Retrigger(b *testing.B) {
+	res, err := harness.Run(harness.Campaign{
+		SUT: bugdb.Z3Sim, Iterations: 40, SeedPool: 10, Seed: 7, Threads: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := harness.ExperimentRQ4(bugdb.Z3Sim, res.Bugs, 5, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Retriggered > out.Bugs {
+			b.Fatal("impossible retrigger count")
+		}
+	}
+}
+
+// BenchmarkThroughputSingleThreaded measures end-to-end fused tests per
+// second in single-threaded mode — the paper reports 41.5 tests/s.
+// ns/op here is the cost of ONE fused test (generate pair + fuse +
+// solve), so tests/s = 1e9 / (ns/op).
+func BenchmarkThroughputSingleThreaded(b *testing.B) {
+	g, err := gen.New(gen.QFLIA, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sat, unsat []*core.Seed
+	for i := 0; i < 10; i++ {
+		sat = append(sat, g.Sat())
+		unsat = append(unsat, g.Unsat())
+	}
+	sut := bugdb.NewTrunkSolver(bugdb.Z3Sim, nil)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := sat
+		if i%2 == 1 {
+			pool = unsat
+		}
+		fused, err := core.Fuse(pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], rng, core.Options{})
+		if err != nil {
+			continue
+		}
+		harness.RunSolver(sut, fused.Script)
+	}
+}
+
+// BenchmarkFusionOnly isolates the fusion engine's cost (Algorithm 2
+// without the solver).
+func BenchmarkFusionOnly(b *testing.B) {
+	g, err := gen.New(gen.QFNRA, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seeds []*core.Seed
+	for i := 0; i < 10; i++ {
+		seeds = append(seeds, g.Sat())
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fuse(seeds[i%10], seeds[(i+3)%10], rng, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverReference measures the reference solver on a fixed mix
+// of generated formulas across logics.
+func BenchmarkSolverReference(b *testing.B) {
+	var scripts []*smtlib.Script
+	for _, logic := range []gen.Logic{gen.QFLIA, gen.QFLRA, gen.QFNRA, gen.QFS} {
+		g, err := gen.New(logic, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			scripts = append(scripts, g.Sat().Script, g.Unsat().Script)
+		}
+	}
+	s := solver.NewReference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harness.RunSolver(s, scripts[i%len(scripts)])
+	}
+}
+
+// BenchmarkParsePrint measures the SMT-LIB front end round trip.
+func BenchmarkParsePrint(b *testing.B) {
+	g, err := gen.New(gen.QFSLIA, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := smtlib.Print(g.Sat().Script)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := smtlib.ParseScript(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if smtlib.Print(sc) == "" {
+			b.Fatal("empty print")
+		}
+	}
+}
+
+// BenchmarkAblationFusionFns runs the fusion-function family ablation
+// at a small budget (DESIGN.md §5).
+func BenchmarkAblationFusionFns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExperimentAblationFusionFns(harness.CampaignBudget{
+			Iterations: 15, SeedPool: 8, Seed: int64(i + 1), Threads: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("bad ablation rows")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command genseeds emits seed corpora of known satisfiability per
+// logic, as .smt2 files — the stand-in for downloading the SMT-LIB and
+// StringFuzz benchmark suites.
+//
+// Usage:
+//
+//	genseeds [-logic QF_S] [-n 20] [-seed 1] [-status both] -out dir/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/smtlib"
+)
+
+func main() {
+	logicFlag := flag.String("logic", "", "logic (default: all)")
+	n := flag.Int("n", 20, "seeds per status per logic")
+	seed := flag.Int64("seed", 1, "random seed")
+	status := flag.String("status", "both", "sat, unsat, or both")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: genseeds [-logic L] [-n N] [-seed S] [-status sat|unsat|both] -out dir/")
+		os.Exit(2)
+	}
+
+	logics := gen.AllLogics
+	if *logicFlag != "" {
+		logics = []gen.Logic{gen.Logic(*logicFlag)}
+	}
+	for _, logic := range logics {
+		g, err := gen.New(logic, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		dir := filepath.Join(*out, string(logic))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		emit := func(st core.Status, label string) {
+			for i := 0; i < *n; i++ {
+				s := g.Generate(st)
+				name := filepath.Join(dir, fmt.Sprintf("%s-%03d.smt2", label, i))
+				body := fmt.Sprintf("(set-info :status %s)\n%s", st, smtlib.Print(s.Script))
+				if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *status == "sat" || *status == "both" {
+			emit(core.StatusSat, "sat")
+		}
+		if *status == "unsat" || *status == "both" {
+			emit(core.StatusUnsat, "unsat")
+		}
+		fmt.Printf("%s: wrote seeds to %s\n", logic, dir)
+	}
+}

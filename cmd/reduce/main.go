@@ -1,0 +1,83 @@
+// Command reduce shrinks a bug-triggering SMT-LIB file while a chosen
+// solver-under-test keeps misbehaving on it — the C-Reduce step of the
+// paper's workflow.
+//
+// Usage:
+//
+//	reduce -sut z3sim [-release trunk] -expect sat|unsat|crash file.smt2
+//
+// -expect is the WRONG observation to preserve (e.g. the SUT answers
+// sat although the formula's oracle is unsat).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bugdb"
+	"repro/internal/harness"
+	"repro/internal/reduce"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+func main() {
+	sutName := flag.String("sut", "z3sim", "solver under test")
+	release := flag.String("release", "trunk", "SUT release")
+	expect := flag.String("expect", "", "observation to preserve: sat, unsat, or crash")
+	checks := flag.Int("checks", 1000, "max interestingness checks")
+	flag.Parse()
+	if flag.NArg() != 1 || *expect == "" {
+		fmt.Fprintln(os.Stderr, "usage: reduce -sut S -expect sat|unsat|crash file.smt2")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	script, err := smtlib.ParseScript(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parse error:", err)
+		os.Exit(1)
+	}
+	sut, err := bugdb.NewSolver(bugdb.SUT(*sutName), *release, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	// For soundness observations the shrink must preserve the
+	// *wrongness*, not just the answer: the defect-free reference
+	// solver has to decide the opposite (otherwise delta debugging
+	// happily reduces "answers sat" to the empty — trivially sat —
+	// script).
+	ref := solver.NewReference()
+	interesting := func(c *smtlib.Script) bool {
+		run := harness.RunSolver(sut, c)
+		switch *expect {
+		case "crash":
+			return run.Crashed
+		case "sat":
+			if run.Crashed || run.Result != solver.ResSat {
+				return false
+			}
+			refOut := ref.SolveScript(c)
+			return refOut.Result == solver.ResUnsat
+		case "unsat":
+			if run.Crashed || run.Result != solver.ResUnsat {
+				return false
+			}
+			refOut := ref.SolveScript(c)
+			return refOut.Result == solver.ResSat
+		}
+		return false
+	}
+	if !interesting(script) {
+		fmt.Fprintln(os.Stderr, "input does not exhibit the expected observation")
+		os.Exit(1)
+	}
+	out := reduce.Reduce(script, interesting, reduce.Options{MaxChecks: *checks})
+	fmt.Print(smtlib.Print(out))
+}

@@ -1,0 +1,78 @@
+// Command solve runs the reference solver — or a simulated
+// solver-under-test release — on an SMT-LIB file and prints sat /
+// unsat / unknown (and optionally a model), mimicking the command-line
+// contract of the solvers the paper tests.
+//
+// Usage:
+//
+//	solve [-sut z3sim|cvc4sim] [-release trunk] [-model] file.smt2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bugdb"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+func main() {
+	sutName := flag.String("sut", "", "simulated solver under test (z3sim or cvc4sim); empty = reference solver")
+	release := flag.String("release", "trunk", "SUT release version")
+	showModel := flag.Bool("model", false, "print the model on sat")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: solve [-sut z3sim|cvc4sim] [-release R] [-model] file.smt2")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	script, err := smtlib.ParseScript(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parse error:", err)
+		os.Exit(1)
+	}
+
+	var s *solver.Solver
+	if *sutName == "" {
+		s = solver.NewReference()
+	} else {
+		s, err = bugdb.NewSolver(bugdb.SUT(*sutName), *release, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			// Crash defects surface the way real solver crashes do.
+			fmt.Fprintln(os.Stderr, r)
+			os.Exit(139)
+		}
+	}()
+	out := s.SolveScript(script)
+	fmt.Println(out.Result)
+	if out.Result == solver.ResUnknown && out.Reason != "" {
+		fmt.Fprintln(os.Stderr, "; reason:", out.Reason)
+	}
+	if *showModel && out.Result == solver.ResSat {
+		var names []string
+		for name := range out.Model {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("(")
+		for _, name := range names {
+			fmt.Printf("  (define-fun %s () %s %s)\n", name, out.Model[name].Sort(), out.Model[name])
+		}
+		fmt.Println(")")
+	}
+}

@@ -1,0 +1,120 @@
+// Command yinyang is the fuzzer CLI: it runs the paper's Algorithm 1
+// against a simulated solver under test, reporting deduplicated bug
+// findings, and can dump the reduced bug-triggering formulas.
+//
+// Usage:
+//
+//	yinyang [-sut z3sim] [-release trunk] [-logics QF_S,QF_NRA]
+//	        [-iters 200] [-pool 20] [-seed 1] [-threads 1]
+//	        [-concat] [-outdir bugs/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bugdb"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/reduce"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+func main() {
+	sutName := flag.String("sut", "z3sim", "solver under test (z3sim or cvc4sim)")
+	release := flag.String("release", "trunk", "SUT release")
+	logicsFlag := flag.String("logics", "", "comma-separated logics (default: all)")
+	iters := flag.Int("iters", 200, "fused tests per logic")
+	pool := flag.Int("pool", 20, "seeds per status per logic")
+	seed := flag.Int64("seed", 1, "random seed")
+	threads := flag.Int("threads", 1, "parallel workers")
+	concat := flag.Bool("concat", false, "ConcatFuzz baseline (no variable fusion)")
+	outdir := flag.String("outdir", "", "write reduced bug-triggering formulas here")
+	flag.Parse()
+
+	var logics []gen.Logic
+	if *logicsFlag != "" {
+		for _, l := range strings.Split(*logicsFlag, ",") {
+			logics = append(logics, gen.Logic(strings.TrimSpace(l)))
+		}
+	}
+
+	res, err := harness.Run(harness.Campaign{
+		SUT:        bugdb.SUT(*sutName),
+		Release:    *release,
+		Logics:     logics,
+		Iterations: *iters,
+		SeedPool:   *pool,
+		Seed:       *seed,
+		Threads:    *threads,
+		ConcatOnly: *concat,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("tests: %d   unknowns: %d   bugs: %d   duplicates: %d\n",
+		res.Tests, res.Unknowns, len(res.Bugs), res.Duplicates)
+	if res.ReferenceDisagreements > 0 {
+		fmt.Printf("WARNING: %d oracle disagreements without a defect (reference solver bug?)\n",
+			res.ReferenceDisagreements)
+	}
+	for _, b := range res.Bugs {
+		entry, _ := bugdb.Find(b.Defect)
+		fmt.Printf("  [%s] %-32s logic=%-10s oracle=%-5v observed=%-7v  %s\n",
+			b.Kind, b.Defect, b.Logic, b.Oracle, b.Observed, entry.Description)
+		if *outdir != "" {
+			writeReduced(*outdir, b)
+		}
+	}
+}
+
+// writeReduced reduces the bug-triggering script (keeping the same
+// defect firing with the same misbehaviour) and writes it out.
+func writeReduced(dir string, b harness.Bug) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "outdir:", err)
+		return
+	}
+	entry, _ := bugdb.Find(b.Defect)
+	sut := bugdb.NewTrunkSolver(entry.SUT, nil)
+	ref := solver.NewReference()
+	interesting := func(c *smtlib.Script) bool {
+		run := harness.RunSolver(sut, c)
+		switch b.Kind {
+		case bugdb.Crash:
+			return run.Crashed && fired(run.DefectsFired, b.Defect)
+		case bugdb.Soundness:
+			if run.Result != b.Observed || !fired(run.DefectsFired, b.Defect) {
+				return false
+			}
+			// Keep the wrongness: the reference must decide the opposite.
+			refOut := ref.SolveScript(c)
+			return refOut.Result != solver.ResUnknown && refOut.Result != b.Observed
+		default:
+			return run.Result == solver.ResUnknown && fired(run.DefectsFired, b.Defect)
+		}
+	}
+	script := b.Script
+	if interesting(script) {
+		script = reduce.Reduce(script, interesting, reduce.Options{MaxChecks: 400})
+	}
+	name := filepath.Join(dir, fmt.Sprintf("%s.smt2", b.Defect))
+	if err := os.WriteFile(name, []byte(smtlib.Print(script)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+	}
+}
+
+func fired(ds []solver.Defect, d solver.Defect) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// UNSAT fusion walkthrough on the paper's Figure 4 formulas: φ3 and φ4
+// (both unsatisfiable) are disjoined, variables are fused with
+// z = x·y, and fusion constraints are added — the Figure 5 shape that
+// triggered a Z3 soundness bug. The z3sim solver under test carries the
+// analogous unguarded-division-rewrite defect.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	yinyang "repro"
+	"repro/internal/core"
+)
+
+const phi3Src = `
+(declare-fun x () Real)
+(assert (not (= (+ (+ 1.0 x) 6.0) (+ 7.0 x))))
+`
+
+const phi4Src = `
+(declare-fun y () Real)
+(declare-fun w () Real)
+(declare-fun v () Real)
+(assert (and (< y v) (>= w v) (< (/ w v) 0) (> y 0)))
+`
+
+func main() {
+	s3, err := yinyang.Parse(phi3Src)
+	if err != nil {
+		panic(err)
+	}
+	s4, err := yinyang.Parse(phi4Src)
+	if err != nil {
+		panic(err)
+	}
+	phi3 := &core.Seed{Script: s3, Status: core.StatusUnsat}
+	phi4 := &core.Seed{Script: s4, Status: core.StatusUnsat}
+
+	// Restrict the table to the paper's exact fusion function z = x·y
+	// (Figure 6 row 3) so the walkthrough matches Figure 5.
+	var mulOnly []core.FusionFn
+	for _, fn := range core.DefaultTable {
+		if fn.Name == "real-mul" {
+			mulOnly = append(mulOnly, fn)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	fused, err := yinyang.FuseWith(phi3, phi4, rng, core.Options{
+		Table:       mulOnly,
+		MaxPairs:    1,
+		ReplaceProb: 0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("--- fused formula (oracle %v, mode %v) ---\n", fused.Oracle, fused.Mode)
+	fmt.Print(yinyang.Print(fused.Script))
+
+	ref := yinyang.NewReferenceSolver()
+	fmt.Printf("reference: %v\n", yinyang.Solve(ref, fused.Script).Result)
+
+	sut, _ := yinyang.NewSUT(yinyang.Z3Sim, "trunk")
+	res := yinyang.Solve(sut, fused.Script)
+	fmt.Printf("z3sim:     %v", res.Result)
+	if fmt.Sprint(res.Result) == "sat" {
+		fmt.Printf("   <-- SOUNDNESS BUG (formula is unsat by construction; defects fired: %v)", res.DefectsFired)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,262 @@
+package ast
+
+import "fmt"
+
+// Op identifies a builtin SMT-LIB operator. Operators carry their
+// typing rule in the opInfo table; applications are constructed through
+// NewApp, which enforces well-sortedness.
+type Op uint16
+
+const (
+	OpInvalid Op = iota
+
+	// Core booleans.
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+	OpImplies
+	OpEq
+	OpDistinct
+	OpIte
+
+	// Arithmetic (Int and Real; typing rule picks the sort).
+	OpAdd
+	OpSub
+	OpNeg // unary minus
+	OpMul
+	OpRealDiv // (/ Real Real) Real
+	OpIntDiv  // (div Int Int) Int
+	OpMod     // (mod Int Int) Int
+	OpAbs     // (abs Int) Int
+	OpLe
+	OpLt
+	OpGe
+	OpGt
+	OpToReal // (to_real Int) Real
+	OpToInt  // (to_int Real) Int
+	OpIsInt  // (is_int Real) Bool
+
+	// Strings.
+	OpStrConcat     // (str.++ String String+) String
+	OpStrLen        // (str.len String) Int
+	OpStrAt         // (str.at String Int) String
+	OpStrSubstr     // (str.substr String Int Int) String
+	OpStrIndexOf    // (str.indexof String String Int) Int
+	OpStrReplace    // (str.replace String String String) String
+	OpStrReplaceAll // (str.replace_all String String String) String
+	OpStrPrefixOf   // (str.prefixof String String) Bool
+	OpStrSuffixOf   // (str.suffixof String String) Bool
+	OpStrContains   // (str.contains String String) Bool
+	OpStrToInt      // (str.to_int String) Int
+	OpStrFromInt    // (str.from_int Int) String
+	OpStrInRe       // (str.in_re String RegLan) Bool
+	OpStrToRe       // (str.to_re String) RegLan
+	OpStrLtOp       // (str.< String String) Bool
+	OpStrLeOp       // (str.<= String String) Bool
+
+	// Regular languages.
+	OpReStar    // (re.* RegLan) RegLan
+	OpRePlus    // (re.+ RegLan) RegLan
+	OpReOpt     // (re.opt RegLan) RegLan
+	OpReUnion   // (re.union RegLan RegLan+) RegLan
+	OpReInter   // (re.inter RegLan RegLan+) RegLan
+	OpReConcat  // (re.++ RegLan RegLan+) RegLan
+	OpReRange   // (re.range String String) RegLan
+	OpReComp    // (re.comp RegLan) RegLan
+	OpReDiff    // (re.diff RegLan RegLan) RegLan
+	OpReAllChar // re.allchar : RegLan
+	OpReAll     // re.all : RegLan
+	OpReNone    // re.none : RegLan
+
+	opMax
+)
+
+// arity sentinel: variadic operators accept minArity or more arguments.
+const variadic = -1
+
+type opInfo struct {
+	name    string   // canonical SMT-LIB 2.6 spelling
+	aliases []string // accepted legacy spellings (SMT-LIB 2.0/2.5)
+	minAr   int
+	maxAr   int // variadic if == variadic
+	typing  func(args []Term) (Sort, error)
+}
+
+var opTable [opMax]opInfo
+
+// typing helpers
+
+func allSort(want Sort, result Sort) func([]Term) (Sort, error) {
+	return func(args []Term) (Sort, error) {
+		for i, a := range args {
+			if a.Sort() != want {
+				return SortInvalid, fmt.Errorf("argument %d has sort %v, want %v", i, a.Sort(), want)
+			}
+		}
+		return result, nil
+	}
+}
+
+// numeric: all args share one arithmetic sort; result is that sort (or
+// given result if resultBool).
+func numeric(resultBool bool) func([]Term) (Sort, error) {
+	return func(args []Term) (Sort, error) {
+		s := args[0].Sort()
+		if !s.IsArith() {
+			return SortInvalid, fmt.Errorf("argument 0 has sort %v, want Int or Real", s)
+		}
+		for i, a := range args {
+			if a.Sort() != s {
+				return SortInvalid, fmt.Errorf("argument %d has sort %v, want %v", i, a.Sort(), s)
+			}
+		}
+		if resultBool {
+			return SortBool, nil
+		}
+		return s, nil
+	}
+}
+
+func exactSorts(result Sort, want ...Sort) func([]Term) (Sort, error) {
+	return func(args []Term) (Sort, error) {
+		for i, a := range args {
+			if a.Sort() != want[i] {
+				return SortInvalid, fmt.Errorf("argument %d has sort %v, want %v", i, a.Sort(), want[i])
+			}
+		}
+		return result, nil
+	}
+}
+
+func sameSortArgs() func([]Term) (Sort, error) {
+	return func(args []Term) (Sort, error) {
+		s := args[0].Sort()
+		for i, a := range args {
+			if a.Sort() != s {
+				return SortInvalid, fmt.Errorf("argument %d has sort %v, want %v", i, a.Sort(), s)
+			}
+		}
+		return SortBool, nil
+	}
+}
+
+func iteTyping(args []Term) (Sort, error) {
+	if args[0].Sort() != SortBool {
+		return SortInvalid, fmt.Errorf("ite condition has sort %v, want Bool", args[0].Sort())
+	}
+	if args[1].Sort() != args[2].Sort() {
+		return SortInvalid, fmt.Errorf("ite branches have sorts %v and %v", args[1].Sort(), args[2].Sort())
+	}
+	return args[1].Sort(), nil
+}
+
+func init() {
+	reg := func(op Op, name string, minAr, maxAr int, typing func([]Term) (Sort, error), aliases ...string) {
+		opTable[op] = opInfo{name: name, aliases: aliases, minAr: minAr, maxAr: maxAr, typing: typing}
+	}
+
+	reg(OpNot, "not", 1, 1, allSort(SortBool, SortBool))
+	reg(OpAnd, "and", 1, variadic, allSort(SortBool, SortBool))
+	reg(OpOr, "or", 1, variadic, allSort(SortBool, SortBool))
+	reg(OpXor, "xor", 2, variadic, allSort(SortBool, SortBool))
+	reg(OpImplies, "=>", 2, variadic, allSort(SortBool, SortBool))
+	reg(OpEq, "=", 2, variadic, sameSortArgs())
+	reg(OpDistinct, "distinct", 2, variadic, sameSortArgs())
+	reg(OpIte, "ite", 3, 3, iteTyping)
+
+	reg(OpAdd, "+", 2, variadic, numeric(false))
+	reg(OpSub, "-", 2, variadic, numeric(false))
+	reg(OpNeg, "-", 1, 1, numeric(false))
+	reg(OpMul, "*", 2, variadic, numeric(false))
+	reg(OpRealDiv, "/", 2, variadic, allSort(SortReal, SortReal))
+	reg(OpIntDiv, "div", 2, variadic, allSort(SortInt, SortInt))
+	reg(OpMod, "mod", 2, 2, allSort(SortInt, SortInt))
+	reg(OpAbs, "abs", 1, 1, allSort(SortInt, SortInt))
+	reg(OpLe, "<=", 2, variadic, numeric(true))
+	reg(OpLt, "<", 2, variadic, numeric(true))
+	reg(OpGe, ">=", 2, variadic, numeric(true))
+	reg(OpGt, ">", 2, variadic, numeric(true))
+	reg(OpToReal, "to_real", 1, 1, exactSorts(SortReal, SortInt), "to-real")
+	reg(OpToInt, "to_int", 1, 1, exactSorts(SortInt, SortReal), "to-int")
+	reg(OpIsInt, "is_int", 1, 1, exactSorts(SortBool, SortReal), "is-int")
+
+	reg(OpStrConcat, "str.++", 2, variadic, allSort(SortString, SortString))
+	reg(OpStrLen, "str.len", 1, 1, exactSorts(SortInt, SortString))
+	reg(OpStrAt, "str.at", 2, 2, exactSorts(SortString, SortString, SortInt))
+	reg(OpStrSubstr, "str.substr", 3, 3, exactSorts(SortString, SortString, SortInt, SortInt))
+	reg(OpStrIndexOf, "str.indexof", 3, 3, exactSorts(SortInt, SortString, SortString, SortInt))
+	reg(OpStrReplace, "str.replace", 3, 3, exactSorts(SortString, SortString, SortString, SortString))
+	reg(OpStrReplaceAll, "str.replace_all", 3, 3, exactSorts(SortString, SortString, SortString, SortString))
+	reg(OpStrPrefixOf, "str.prefixof", 2, 2, exactSorts(SortBool, SortString, SortString))
+	reg(OpStrSuffixOf, "str.suffixof", 2, 2, exactSorts(SortBool, SortString, SortString))
+	reg(OpStrContains, "str.contains", 2, 2, exactSorts(SortBool, SortString, SortString))
+	reg(OpStrToInt, "str.to_int", 1, 1, exactSorts(SortInt, SortString), "str.to.int")
+	reg(OpStrFromInt, "str.from_int", 1, 1, exactSorts(SortString, SortInt), "int.to.str", "str.from.int")
+	reg(OpStrInRe, "str.in_re", 2, 2, exactSorts(SortBool, SortString, SortRegLan), "str.in.re")
+	reg(OpStrToRe, "str.to_re", 1, 1, exactSorts(SortRegLan, SortString), "str.to.re")
+	reg(OpStrLtOp, "str.<", 2, 2, exactSorts(SortBool, SortString, SortString))
+	reg(OpStrLeOp, "str.<=", 2, 2, exactSorts(SortBool, SortString, SortString))
+
+	reg(OpReStar, "re.*", 1, 1, allSort(SortRegLan, SortRegLan))
+	reg(OpRePlus, "re.+", 1, 1, allSort(SortRegLan, SortRegLan))
+	reg(OpReOpt, "re.opt", 1, 1, allSort(SortRegLan, SortRegLan))
+	reg(OpReUnion, "re.union", 2, variadic, allSort(SortRegLan, SortRegLan))
+	reg(OpReInter, "re.inter", 2, variadic, allSort(SortRegLan, SortRegLan))
+	reg(OpReConcat, "re.++", 2, variadic, allSort(SortRegLan, SortRegLan))
+	reg(OpReRange, "re.range", 2, 2, exactSorts(SortRegLan, SortString, SortString))
+	reg(OpReComp, "re.comp", 1, 1, allSort(SortRegLan, SortRegLan))
+	reg(OpReDiff, "re.diff", 2, 2, allSort(SortRegLan, SortRegLan))
+	reg(OpReAllChar, "re.allchar", 0, 0, allSort(SortRegLan, SortRegLan))
+	reg(OpReAll, "re.all", 0, 0, allSort(SortRegLan, SortRegLan))
+	reg(OpReNone, "re.none", 0, 0, allSort(SortRegLan, SortRegLan))
+
+	buildOpNameIndex()
+}
+
+// opNameIndex maps every accepted spelling to the operator. The unary
+// and binary minus share the spelling "-" and are disambiguated by
+// arity in OpByName.
+var opNameIndex map[string][]Op
+
+func buildOpNameIndex() {
+	opNameIndex = make(map[string][]Op, 2*int(opMax))
+	for op := Op(1); op < opMax; op++ {
+		info := &opTable[op]
+		opNameIndex[info.name] = append(opNameIndex[info.name], op)
+		for _, a := range info.aliases {
+			opNameIndex[a] = append(opNameIndex[a], op)
+		}
+	}
+}
+
+// String returns the canonical SMT-LIB spelling of the operator.
+func (op Op) String() string {
+	if op > OpInvalid && op < opMax {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("Op(%d)", uint16(op))
+}
+
+// Arity returns the minimum and maximum accepted argument counts.
+// A maximum of -1 means the operator is variadic.
+func (op Op) Arity() (min, max int) {
+	return opTable[op].minAr, opTable[op].maxAr
+}
+
+// OpByName resolves an operator spelling and argument count to an Op.
+// The second result reports whether resolution succeeded.
+func OpByName(name string, nargs int) (Op, bool) {
+	cands := opNameIndex[name]
+	for _, op := range cands {
+		info := &opTable[op]
+		if nargs < info.minAr {
+			continue
+		}
+		if info.maxAr != variadic && nargs > info.maxAr {
+			continue
+		}
+		return op, true
+	}
+	return OpInvalid, false
+}

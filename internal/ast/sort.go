@@ -1,0 +1,60 @@
+// Package ast defines the typed term representation shared by the whole
+// system: sorts, the operator table with SMT-LIB typing rules, immutable
+// term trees over exact big-number literals, and the structural
+// operations (free variables, substitution, traversal, renaming) that
+// Semantic Fusion is built from.
+package ast
+
+import "fmt"
+
+// Sort is the type of a term. The system implements the SMT-LIB sorts
+// needed for the arithmetic and string logics the paper evaluates:
+// Bool, Int, Real, String, and RegLan (regular languages).
+type Sort uint8
+
+const (
+	SortInvalid Sort = iota
+	SortBool
+	SortInt
+	SortReal
+	SortString
+	SortRegLan
+)
+
+var sortNames = [...]string{
+	SortInvalid: "<invalid>",
+	SortBool:    "Bool",
+	SortInt:     "Int",
+	SortReal:    "Real",
+	SortString:  "String",
+	SortRegLan:  "RegLan",
+}
+
+// String returns the SMT-LIB spelling of the sort.
+func (s Sort) String() string {
+	if int(s) < len(sortNames) {
+		return sortNames[s]
+	}
+	return fmt.Sprintf("Sort(%d)", uint8(s))
+}
+
+// SortByName resolves an SMT-LIB sort name. The second result reports
+// whether the name is known.
+func SortByName(name string) (Sort, bool) {
+	switch name {
+	case "Bool":
+		return SortBool, true
+	case "Int":
+		return SortInt, true
+	case "Real":
+		return SortReal, true
+	case "String":
+		return SortString, true
+	case "RegLan", "(RegEx String)", "RegEx":
+		return SortRegLan, true
+	}
+	return SortInvalid, false
+}
+
+// IsArith reports whether the sort is numeric (Int or Real).
+func (s Sort) IsArith() bool { return s == SortInt || s == SortReal }

@@ -1,0 +1,218 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FreeVars returns the free variables of t, deduplicated by name, in
+// first-occurrence order. Quantifier-bound occurrences are excluded.
+func FreeVars(t Term) []*Var {
+	var out []*Var
+	seen := map[string]bool{}
+	collectFree(t, map[string]int{}, seen, &out)
+	return out
+}
+
+func collectFree(t Term, bound map[string]int, seen map[string]bool, out *[]*Var) {
+	switch n := t.(type) {
+	case *Var:
+		if bound[n.Name] == 0 && !seen[n.Name] {
+			seen[n.Name] = true
+			*out = append(*out, n)
+		}
+	case *App:
+		for _, a := range n.Args {
+			collectFree(a, bound, seen, out)
+		}
+	case *Quant:
+		for _, b := range n.Bound {
+			bound[b.Name]++
+		}
+		collectFree(n.Body, bound, seen, out)
+		for _, b := range n.Bound {
+			bound[b.Name]--
+		}
+	}
+}
+
+// FreeVarsByName returns the free variables of t keyed by name.
+func FreeVarsByName(t Term) map[string]*Var {
+	out := map[string]*Var{}
+	for _, v := range FreeVars(t) {
+		out[v.Name] = v
+	}
+	return out
+}
+
+// SortedFreeVarNames returns the free-variable names of t sorted
+// lexicographically — a convenience for deterministic iteration.
+func SortedFreeVarNames(t Term) []string {
+	vs := FreeVars(t)
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CountFreeOccurrences returns the number of free occurrences of the
+// variable named name in t.
+func CountFreeOccurrences(t Term, name string) int {
+	n := 0
+	walkFreeOccurrences(t, name, 0, func() { n++ })
+	return n
+}
+
+func walkFreeOccurrences(t Term, name string, boundDepth int, hit func()) {
+	switch n := t.(type) {
+	case *Var:
+		if n.Name == name && boundDepth == 0 {
+			hit()
+		}
+	case *App:
+		for _, a := range n.Args {
+			walkFreeOccurrences(a, name, boundDepth, hit)
+		}
+	case *Quant:
+		d := boundDepth
+		for _, b := range n.Bound {
+			if b.Name == name {
+				d++
+			}
+		}
+		walkFreeOccurrences(n.Body, name, d, hit)
+	}
+}
+
+// Substitute replaces every free occurrence of each variable in repl by
+// its mapped term. Replacement terms must not capture: callers are
+// responsible for ensuring replacement terms contain no variables that
+// are bound at substitution sites (fusion operates on quantifier-free
+// positions of freshly named variables, so this holds by construction;
+// a capture is reported as an error).
+func Substitute(t Term, repl map[string]Term) (Term, error) {
+	s := &substituter{repl: repl, selectAll: true}
+	out := s.subst(t, map[string]int{})
+	if s.err != nil {
+		return nil, s.err
+	}
+	return out, nil
+}
+
+// MustSubstitute is Substitute, panicking on capture errors.
+func MustSubstitute(t Term, repl map[string]Term) Term {
+	out, err := Substitute(t, repl)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SubstituteOccurrences implements the paper's φ[e/x]R: it replaces the
+// free occurrences of the variable named name for which pick returns
+// true. pick is called once per free occurrence in preorder with the
+// occurrence index (0-based). The number of free occurrences visited is
+// returned alongside the rewritten term.
+func SubstituteOccurrences(t Term, name string, e Term, pick func(i int) bool) (Term, int, error) {
+	s := &substituter{
+		repl:      map[string]Term{name: e},
+		selectAll: false,
+		pick:      pick,
+	}
+	out := s.subst(t, map[string]int{})
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	return out, s.occ, nil
+}
+
+type substituter struct {
+	repl      map[string]Term
+	selectAll bool
+	pick      func(i int) bool
+	occ       int
+	err       error
+}
+
+func (s *substituter) subst(t Term, bound map[string]int) Term {
+	if s.err != nil {
+		return t
+	}
+	switch n := t.(type) {
+	case *Var:
+		e, ok := s.repl[n.Name]
+		if !ok || bound[n.Name] > 0 {
+			return t
+		}
+		if !s.selectAll {
+			i := s.occ
+			s.occ++
+			if !s.pick(i) {
+				return t
+			}
+		}
+		// Capture check: no free variable of e may be bound here.
+		if len(bound) > 0 {
+			for _, fv := range FreeVars(e) {
+				if bound[fv.Name] > 0 {
+					s.err = fmt.Errorf("substitution of %s captures %s", n.Name, fv.Name)
+					return t
+				}
+			}
+		}
+		if e.Sort() != n.VSort {
+			s.err = fmt.Errorf("substitution of %s: replacement has sort %v, want %v", n.Name, e.Sort(), n.VSort)
+			return t
+		}
+		return e
+	case *App:
+		changed := false
+		args := n.Args
+		for i, a := range n.Args {
+			na := s.subst(a, bound)
+			if na != a {
+				if !changed {
+					args = make([]Term, len(n.Args))
+					copy(args, n.Args)
+					changed = true
+				}
+				args[i] = na
+			}
+		}
+		if !changed {
+			return t
+		}
+		return MustApp(n.Op, args...)
+	case *Quant:
+		for _, b := range n.Bound {
+			bound[b.Name]++
+		}
+		body := s.subst(n.Body, bound)
+		for _, b := range n.Bound {
+			bound[b.Name]--
+		}
+		if body == n.Body {
+			return t
+		}
+		return &Quant{Forall: n.Forall, Bound: n.Bound, Body: body}
+	default:
+		return t
+	}
+}
+
+// RenameFreeVars renames free variables according to the name map,
+// preserving sorts. Names absent from the map are unchanged.
+func RenameFreeVars(t Term, names map[string]string) Term {
+	repl := map[string]Term{}
+	for _, v := range FreeVars(t) {
+		if nn, ok := names[v.Name]; ok {
+			repl[v.Name] = NewVar(nn, v.VSort)
+		}
+	}
+	if len(repl) == 0 {
+		return t
+	}
+	return MustSubstitute(t, repl)
+}

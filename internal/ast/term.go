@@ -1,0 +1,197 @@
+package ast
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Term is an immutable, well-sorted term tree. Terms are shared freely:
+// no operation in this package mutates an existing term; transformations
+// return new trees that may alias unchanged subtrees.
+type Term interface {
+	// Sort returns the sort of the term.
+	Sort() Sort
+	aTerm()
+}
+
+// Var is a free or bound variable occurrence.
+type Var struct {
+	Name  string
+	VSort Sort
+}
+
+func (v *Var) Sort() Sort { return v.VSort }
+func (*Var) aTerm()       {}
+
+// NewVar returns a variable term.
+func NewVar(name string, sort Sort) *Var { return &Var{Name: name, VSort: sort} }
+
+// BoolLit is a boolean literal (true or false).
+type BoolLit struct{ V bool }
+
+func (*BoolLit) Sort() Sort { return SortBool }
+func (*BoolLit) aTerm()     {}
+
+// Shared literal instances for the common cases.
+var (
+	True  = &BoolLit{V: true}
+	False = &BoolLit{V: false}
+)
+
+// Bool returns the shared literal for b.
+func Bool(b bool) *BoolLit {
+	if b {
+		return True
+	}
+	return False
+}
+
+// IntLit is an arbitrary-precision integer literal.
+type IntLit struct{ V *big.Int }
+
+func (*IntLit) Sort() Sort { return SortInt }
+func (*IntLit) aTerm()     {}
+
+// Int returns an Int literal for v.
+func Int(v int64) *IntLit { return &IntLit{V: big.NewInt(v)} }
+
+// IntBig returns an Int literal for the given big integer (not copied).
+func IntBig(v *big.Int) *IntLit { return &IntLit{V: v} }
+
+// RealLit is an exact rational literal.
+type RealLit struct{ V *big.Rat }
+
+func (*RealLit) Sort() Sort { return SortReal }
+func (*RealLit) aTerm()     {}
+
+// Real returns a Real literal for num/den.
+func Real(num, den int64) *RealLit { return &RealLit{V: big.NewRat(num, den)} }
+
+// RealBig returns a Real literal for the given rational (not copied).
+func RealBig(v *big.Rat) *RealLit { return &RealLit{V: v} }
+
+// StrLit is a string literal. The value is the already-unescaped Go
+// string; printing re-applies SMT-LIB escaping.
+type StrLit struct{ V string }
+
+func (*StrLit) Sort() Sort { return SortString }
+func (*StrLit) aTerm()     {}
+
+// Str returns a String literal for v.
+func Str(v string) *StrLit { return &StrLit{V: v} }
+
+// App is the application of a builtin operator to arguments.
+type App struct {
+	Op   Op
+	Args []Term
+	sort Sort
+}
+
+func (a *App) Sort() Sort { return a.sort }
+func (*App) aTerm()       {}
+
+// SortedVar is a sorted variable binding in a quantifier prefix.
+type SortedVar struct {
+	Name string
+	Sort Sort
+}
+
+// Quant is a universally or existentially quantified formula.
+type Quant struct {
+	Forall bool
+	Bound  []SortedVar
+	Body   Term
+}
+
+func (*Quant) Sort() Sort { return SortBool }
+func (*Quant) aTerm()     {}
+
+// NewQuant builds a quantifier. The body must be boolean.
+func NewQuant(forall bool, bound []SortedVar, body Term) (*Quant, error) {
+	if body.Sort() != SortBool {
+		return nil, fmt.Errorf("quantifier body has sort %v, want Bool", body.Sort())
+	}
+	if len(bound) == 0 {
+		return nil, fmt.Errorf("quantifier with empty binder list")
+	}
+	return &Quant{Forall: forall, Bound: bound, Body: body}, nil
+}
+
+// NewApp builds a well-sorted application of op to args, reporting an
+// error when arity or argument sorts do not match the operator's typing
+// rule.
+func NewApp(op Op, args ...Term) (Term, error) {
+	if op <= OpInvalid || op >= opMax {
+		return nil, fmt.Errorf("invalid operator %v", op)
+	}
+	info := &opTable[op]
+	if len(args) < info.minAr || (info.maxAr != variadic && len(args) > info.maxAr) {
+		return nil, fmt.Errorf("%s: got %d arguments, want %s", info.name, len(args), arityString(info))
+	}
+	sort, err := info.typing(args)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", info.name, err)
+	}
+	return &App{Op: op, Args: args, sort: sort}, nil
+}
+
+// MustApp is NewApp, panicking on typing errors. It is intended for
+// programmatic construction of terms whose sorts are known correct by
+// construction (generators, fusion tables, tests).
+func MustApp(op Op, args ...Term) Term {
+	t, err := NewApp(op, args...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func arityString(info *opInfo) string {
+	if info.maxAr == variadic {
+		return fmt.Sprintf("at least %d", info.minAr)
+	}
+	if info.minAr == info.maxAr {
+		return fmt.Sprintf("exactly %d", info.minAr)
+	}
+	return fmt.Sprintf("between %d and %d", info.minAr, info.maxAr)
+}
+
+// Convenience smart constructors used pervasively by generators, the
+// fusion engine, and tests. All panic on ill-sorted input (MustApp).
+
+// Not negates a boolean term.
+func Not(t Term) Term { return MustApp(OpNot, t) }
+
+// And conjoins boolean terms; And() of a single term returns the term.
+func And(ts ...Term) Term {
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	return MustApp(OpAnd, ts...)
+}
+
+// Or disjoins boolean terms; Or() of a single term returns the term.
+func Or(ts ...Term) Term {
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	return MustApp(OpOr, ts...)
+}
+
+// Eq builds an equality.
+func Eq(a, b Term) Term { return MustApp(OpEq, a, b) }
+
+// Ite builds an if-then-else.
+func Ite(c, t, e Term) Term { return MustApp(OpIte, c, t, e) }
+
+// Add, Sub, Mul, Neg build arithmetic terms.
+func Add(ts ...Term) Term { return MustApp(OpAdd, ts...) }
+func Sub(ts ...Term) Term { return MustApp(OpSub, ts...) }
+func Mul(ts ...Term) Term { return MustApp(OpMul, ts...) }
+func Neg(t Term) Term     { return MustApp(OpNeg, t) }
+
+// Comparisons.
+func Le(a, b Term) Term { return MustApp(OpLe, a, b) }
+func Lt(a, b Term) Term { return MustApp(OpLt, a, b) }
+func Ge(a, b Term) Term { return MustApp(OpGe, a, b) }
+func Gt(a, b Term) Term { return MustApp(OpGt, a, b) }

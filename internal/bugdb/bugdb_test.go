@@ -1,0 +1,151 @@
+package bugdb
+
+import (
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func TestCatalogConsistency(t *testing.T) {
+	seen := map[solver.Defect]bool{}
+	implemented := map[solver.Defect]bool{}
+	for _, d := range solver.AllDefects {
+		implemented[d] = true
+	}
+	for _, e := range Catalog {
+		if seen[e.ID] {
+			t.Errorf("duplicate catalogue entry %s", e.ID)
+		}
+		seen[e.ID] = true
+		if !implemented[e.ID] {
+			t.Errorf("catalogue entry %s has no implementation site", e.ID)
+		}
+		if e.SUT != Z3Sim && e.SUT != CVC4Sim {
+			t.Errorf("%s: bad SUT %q", e.ID, e.SUT)
+		}
+		rs := Releases(e.SUT)
+		if e.IntroducedIn < 0 || e.IntroducedIn >= len(rs) {
+			t.Errorf("%s: IntroducedIn %d out of range", e.ID, e.IntroducedIn)
+		}
+		if e.Logic == "" || e.Description == "" {
+			t.Errorf("%s: missing metadata", e.ID)
+		}
+		if ReleaseYear(e.SUT, rs[e.IntroducedIn]) < e.Year-1 {
+			// A defect cannot be introduced in a release older than its
+			// year (1-year slack for release trains).
+			t.Errorf("%s: year %d inconsistent with release %s", e.ID, e.Year, rs[e.IntroducedIn])
+		}
+	}
+	// Every implemented defect is catalogued.
+	for _, d := range solver.AllDefects {
+		if !seen[d] {
+			t.Errorf("implemented defect %s missing from catalogue", d)
+		}
+	}
+}
+
+func TestShapeMatchesPaper(t *testing.T) {
+	// The paper's headline shape: z3sim has clearly more defects than
+	// cvc4sim; soundness dominates; every cvc4sim soundness defect is
+	// labelled major.
+	z3, cvc4 := ForSUT(Z3Sim), ForSUT(CVC4Sim)
+	if len(z3) <= len(cvc4) {
+		t.Errorf("z3sim (%d) should have more defects than cvc4sim (%d)", len(z3), len(cvc4))
+	}
+	countType := func(es []Entry, ty BugType) int {
+		n := 0
+		for _, e := range es {
+			if e.Type == ty {
+				n++
+			}
+		}
+		return n
+	}
+	all := append(append([]Entry{}, z3...), cvc4...)
+	if s := countType(all, Soundness); s*2 < len(all) {
+		t.Errorf("soundness defects (%d) should be the majority of %d", s, len(all))
+	}
+	for _, e := range cvc4 {
+		if e.Type == Soundness && e.Label != "major" {
+			t.Errorf("cvc4sim soundness defect %s not labelled major", e.ID)
+		}
+	}
+}
+
+func TestDefectsInMonotone(t *testing.T) {
+	for _, s := range SUTs {
+		prev := -1
+		for _, r := range Releases(s) {
+			ds, err := DefectsIn(s, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ds) < prev {
+				t.Errorf("%s %s: defect count decreased", s, r)
+			}
+			prev = len(ds)
+		}
+		trunk, _ := DefectsIn(s, "trunk")
+		if len(trunk) != len(ForSUT(s)) {
+			t.Errorf("%s trunk should contain all defects", s)
+		}
+	}
+	if _, err := DefectsIn(Z3Sim, "9.9.9"); err == nil {
+		t.Error("unknown release accepted")
+	}
+}
+
+func TestAffects(t *testing.T) {
+	// DefRealDivCancel is introduced at index 0: affects every release.
+	for _, r := range Releases(Z3Sim) {
+		if !Affects(solver.DefRealDivCancel, r) {
+			t.Errorf("DefRealDivCancel should affect %s", r)
+		}
+	}
+	// DefStrContainsSelf introduced at 4.8.4 (index 6).
+	if Affects(solver.DefStrContainsSelf, "4.5.0") {
+		t.Error("DefStrContainsSelf should not affect 4.5.0")
+	}
+	if !Affects(solver.DefStrContainsSelf, "trunk") {
+		t.Error("DefStrContainsSelf should affect trunk")
+	}
+	if Affects(solver.Defect("no-such"), "trunk") {
+		t.Error("unknown defect should not affect anything")
+	}
+}
+
+func TestNewSolverConfigurations(t *testing.T) {
+	sol, err := NewSolver(CVC4Sim, "1.5", nil)
+	if err != nil || sol == nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	trunk := NewTrunkSolver(Z3Sim, nil)
+	if trunk == nil {
+		t.Fatal("trunk solver nil")
+	}
+	if _, err := NewSolver(Z3Sim, "1.5", nil); err == nil {
+		t.Error("cross-SUT release accepted")
+	}
+}
+
+func TestHistoricData(t *testing.T) {
+	if got := HistoricTotals(Z3Sim); got != 146 {
+		t.Errorf("Z3 historic total = %d, want 146 (paper RQ2)", got)
+	}
+	if got := HistoricTotals(CVC4Sim); got != 42 {
+		t.Errorf("CVC4 historic total = %d, want 42 (paper RQ2)", got)
+	}
+	if HistoricSoundnessPerYear[Z3Sim][2019] != 63 {
+		t.Error("Figure 9 Z3 2019 bar should be 63")
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, ok := Find(solver.DefStrToIntEmpty)
+	if !ok || e.SUT != CVC4Sim || e.Label != "major" {
+		t.Errorf("Find(DefStrToIntEmpty) = %+v, %v", e, ok)
+	}
+	if _, ok := Find(solver.Defect("nope")); ok {
+		t.Error("Find should fail on unknown defect")
+	}
+}

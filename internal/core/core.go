@@ -1,0 +1,469 @@
+// Package core implements Semantic Fusion, the paper's contribution:
+// fusing two formulas of known, equal satisfiability into a new formula
+// that is equisatisfiable by construction (PLDI 2020, "Validating SMT
+// Solvers via Semantic Fusion").
+//
+// SAT fusion (Proposition 1) conjoins two satisfiable formulas after
+// replacing random occurrences of a variable pair (x, y) by inversion
+// terms over a fresh fusion variable z. UNSAT fusion (Proposition 2)
+// disjoins two unsatisfiable formulas and adds the fusion constraints
+// z = f(x,y), x = rx(y,z), y = ry(x,z). Mixed fusion handles one
+// satisfiable and one unsatisfiable ancestor.
+//
+// One divergence from the paper is required for oracle exactness: the
+// paper relies on SMT-LIB's underspecified division by zero, while this
+// system fixes x/0 = 0 (see internal/eval). Under a fixed
+// interpretation, inversion functions like rx(y,z) = z div y only
+// recover x when they are exact under the ancestors' witness models, so
+// SAT fusion validates each candidate fusion-function instance against
+// the witnesses (generically, by evaluation) and discards instances
+// that do not invert exactly. UNSAT fusion needs no witnesses: the
+// added fusion constraints force the inversions, making Proposition 2
+// semantics-robust.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/smtlib"
+)
+
+// Status is a formula's known satisfiability (the fuzzing oracle).
+type Status int8
+
+const (
+	StatusSat Status = iota
+	StatusUnsat
+)
+
+func (s Status) String() string {
+	if s == StatusSat {
+		return "sat"
+	}
+	return "unsat"
+}
+
+// Seed is a formula with its ground-truth status. Sat seeds carry a
+// witness model (used to select exactly-inverting fusion instances).
+type Seed struct {
+	Script  *smtlib.Script
+	Status  Status
+	Witness eval.Model
+}
+
+// Mode is the concatenation shape used by a fusion.
+type Mode int8
+
+const (
+	// ModeSatConj: both ancestors sat, conjunction (Proposition 1).
+	ModeSatConj Mode = iota
+	// ModeUnsatDisj: both ancestors unsat, disjunction plus fusion
+	// constraints (Proposition 2).
+	ModeUnsatDisj
+	// ModeMixedSatDisj: sat ∨ unsat ancestor, disjunction (sat oracle).
+	ModeMixedSatDisj
+	// ModeMixedUnsatConj: sat ∧ unsat ancestor, conjunction plus fusion
+	// constraints (unsat oracle).
+	ModeMixedUnsatConj
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSatConj:
+		return "sat-conjunction"
+	case ModeUnsatDisj:
+		return "unsat-disjunction"
+	case ModeMixedSatDisj:
+		return "mixed-sat-disjunction"
+	default:
+		return "mixed-unsat-conjunction"
+	}
+}
+
+// Triplet records one variable fusion (z, x, y) with the chosen
+// functions.
+type Triplet struct {
+	Z, X, Y  string
+	Sort     ast.Sort
+	Function string // description of the fusion function row
+}
+
+// Fused is the result of a fusion.
+type Fused struct {
+	Script   *smtlib.Script
+	Oracle   Status
+	Mode     Mode
+	Triplets []Triplet
+	// Witness is a model of the fused formula when Oracle == StatusSat.
+	Witness eval.Model
+}
+
+// Options tunes the fusion.
+type Options struct {
+	// MaxPairs bounds the number of fusion triplets (default 1; the
+	// actual count is 1..MaxPairs chosen at random).
+	MaxPairs int
+	// ReplaceProb is the probability of replacing each replaceable
+	// occurrence by an inversion term (default 0.5).
+	ReplaceProb float64
+	// Table overrides the fusion-function table (default DefaultTable).
+	Table []FusionFn
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPairs == 0 {
+		o.MaxPairs = 2
+	}
+	if o.ReplaceProb == 0 {
+		o.ReplaceProb = 0.5
+	}
+	if o.Table == nil {
+		o.Table = DefaultTable
+	}
+	return o
+}
+
+// ErrNoFusablePair is returned when the ancestors share no variable
+// pair of a fusable sort (Int, Real, or String).
+var ErrNoFusablePair = errors.New("core: no fusable variable pair")
+
+// Fuse fuses two seeds per the paper's Algorithm 2. The mode follows
+// from the ancestors' statuses; for mixed ancestors the mode is chosen
+// at random between the sat-disjunction and unsat-conjunction variants.
+func Fuse(phi1, phi2 *Seed, rng *rand.Rand, opts Options) (*Fused, error) {
+	opts = opts.withDefaults()
+
+	var mode Mode
+	switch {
+	case phi1.Status == StatusSat && phi2.Status == StatusSat:
+		mode = ModeSatConj
+	case phi1.Status == StatusUnsat && phi2.Status == StatusUnsat:
+		mode = ModeUnsatDisj
+	default:
+		// Normalize: sat ancestor first.
+		if phi1.Status == StatusUnsat {
+			phi1, phi2 = phi2, phi1
+		}
+		if rng.Intn(2) == 0 {
+			mode = ModeMixedSatDisj
+		} else {
+			mode = ModeMixedUnsatConj
+		}
+	}
+	return FuseMode(phi1, phi2, mode, rng, opts)
+}
+
+// FuseMode fuses with an explicit mode. For modes involving a sat
+// ancestor, that ancestor must carry a witness.
+func FuseMode(phi1, phi2 *Seed, mode Mode, rng *rand.Rand, opts Options) (*Fused, error) {
+	opts = opts.withDefaults()
+
+	f := &fuser{rng: rng, opts: opts, mode: mode}
+	return f.run(phi1, phi2)
+}
+
+type fuser struct {
+	rng  *rand.Rand
+	opts Options
+	mode Mode
+
+	used map[string]bool // all variable names in play
+}
+
+func (f *fuser) run(phi1, phi2 *Seed) (*Fused, error) {
+	decls1 := phi1.Script.Declarations()
+	asserts1 := phi1.Script.Asserts()
+
+	// Step 0: rename φ2's variables apart from φ1's.
+	f.used = map[string]bool{}
+	for _, d := range decls1 {
+		f.used[d.Name] = true
+	}
+	decls2, asserts2, witness2 := f.renameApart(phi2)
+
+	witness1 := phi1.Witness
+
+	// Build the candidate pair pool: same-sort fusable pairs.
+	type pair struct {
+		x, y *smtlib.DeclareFun
+	}
+	var pool []pair
+	for _, dx := range decls1 {
+		if !fusableSort(dx.Sort) {
+			continue
+		}
+		for _, dy := range decls2 {
+			if dy.Sort == dx.Sort {
+				pool = append(pool, pair{x: dx, y: dy})
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return nil, ErrNoFusablePair
+	}
+
+	nPairs := 1 + f.rng.Intn(f.opts.MaxPairs)
+	if nPairs > len(pool) {
+		nPairs = len(pool)
+	}
+	f.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	// Distinct variables across triplets (the paper's random_map).
+	var chosen []pair
+	usedVar := map[string]bool{}
+	for _, p := range pool {
+		if usedVar[p.x.Name] || usedVar[p.y.Name] {
+			continue
+		}
+		usedVar[p.x.Name] = true
+		usedVar[p.y.Name] = true
+		chosen = append(chosen, p)
+		if len(chosen) == nPairs {
+			break
+		}
+	}
+
+	needWitness := f.mode != ModeUnsatDisj
+	combined := eval.Model{}
+	if needWitness {
+		if witness1 == nil {
+			return nil, fmt.Errorf("core: %v fusion requires a witness for the sat ancestor", f.mode)
+		}
+		for k, v := range witness1 {
+			combined[k] = v
+		}
+		if f.mode == ModeSatConj {
+			if witness2 == nil {
+				return nil, fmt.Errorf("core: sat fusion requires witnesses for both ancestors")
+			}
+			for k, v := range witness2 {
+				combined[k] = v
+			}
+		} else {
+			// Mixed: the unsat side's variables take arbitrary values.
+			for _, d := range decls2 {
+				if _, ok := combined[d.Name]; !ok {
+					combined[d.Name] = eval.DefaultValue(d.Sort)
+				}
+			}
+		}
+		// Default-complete (seeds may not constrain every declared var).
+		for _, d := range decls1 {
+			if _, ok := combined[d.Name]; !ok {
+				combined[d.Name] = eval.DefaultValue(d.Sort)
+			}
+		}
+	}
+
+	var (
+		triplets    []Triplet
+		constraints []ast.Term
+		zDecls      []*smtlib.DeclareFun
+	)
+	for _, p := range chosen {
+		x := ast.NewVar(p.x.Name, p.x.Sort)
+		y := ast.NewVar(p.y.Name, p.y.Sort)
+		zName := f.freshZ()
+		z := ast.NewVar(zName, p.x.Sort)
+
+		inst, desc, ok := f.pickInstance(p.x.Sort, x, y, z, combined, needWitness)
+		if !ok {
+			continue // no exactly-inverting instance for these witnesses
+		}
+		if needWitness {
+			zv, err := eval.Term(inst.apply, combined)
+			if err != nil {
+				continue
+			}
+			combined[zName] = zv
+		}
+		zDecls = append(zDecls, &smtlib.DeclareFun{Name: zName, Sort: p.x.Sort})
+		triplets = append(triplets, Triplet{Z: zName, X: p.x.Name, Y: p.y.Name, Sort: p.x.Sort, Function: desc})
+
+		// Variable inversion: replace random free occurrences of x in
+		// φ1's asserts and y in φ2's asserts.
+		asserts1 = f.substRandom(asserts1, p.x.Name, inst.invertX)
+		asserts2 = f.substRandom(asserts2, p.y.Name, inst.invertY)
+
+		if f.mode == ModeUnsatDisj || f.mode == ModeMixedUnsatConj {
+			constraints = append(constraints,
+				ast.Eq(z, inst.apply),
+				ast.Eq(x, inst.invertX),
+				ast.Eq(y, inst.invertY))
+		}
+	}
+	if len(triplets) == 0 {
+		return nil, ErrNoFusablePair
+	}
+
+	// Formula concatenation.
+	decls := append(append([]*smtlib.DeclareFun{}, decls1...), decls2...)
+	decls = append(decls, zDecls...)
+	var asserts []ast.Term
+	var oracle Status
+	switch f.mode {
+	case ModeSatConj:
+		asserts = append(append([]ast.Term{}, asserts1...), asserts2...)
+		oracle = StatusSat
+	case ModeMixedSatDisj:
+		asserts = []ast.Term{ast.Or(conj(asserts1), conj(asserts2))}
+		oracle = StatusSat
+	case ModeUnsatDisj:
+		asserts = []ast.Term{ast.Or(conj(asserts1), conj(asserts2))}
+		asserts = append(asserts, constraints...)
+		oracle = StatusUnsat
+	case ModeMixedUnsatConj:
+		asserts = append(append([]ast.Term{}, asserts1...), asserts2...)
+		asserts = append(asserts, constraints...)
+		oracle = StatusUnsat
+	}
+
+	script := smtlib.NewScript("", decls, asserts)
+	script.Commands = append([]smtlib.Command{&smtlib.SetLogic{Logic: smtlib.InferLogic(script)}}, script.Commands...)
+
+	out := &Fused{Script: script, Oracle: oracle, Mode: f.mode, Triplets: triplets}
+	if oracle == StatusSat {
+		out.Witness = combined
+	}
+	return out, nil
+}
+
+// renameApart renames φ2's variables that clash with names already in
+// use, rewriting its asserts and witness accordingly.
+func (f *fuser) renameApart(phi *Seed) ([]*smtlib.DeclareFun, []ast.Term, eval.Model) {
+	renames := map[string]string{}
+	var decls []*smtlib.DeclareFun
+	for _, d := range phi.Script.Declarations() {
+		name := d.Name
+		for f.used[name] {
+			name = name + "_2"
+		}
+		if name != d.Name {
+			renames[d.Name] = name
+		}
+		f.used[name] = true
+		decls = append(decls, &smtlib.DeclareFun{Name: name, Sort: d.Sort})
+	}
+	asserts := phi.Script.Asserts()
+	if len(renames) > 0 {
+		renamed := make([]ast.Term, len(asserts))
+		for i, a := range asserts {
+			renamed[i] = ast.RenameFreeVars(a, renames)
+		}
+		asserts = renamed
+	} else {
+		asserts = append([]ast.Term{}, asserts...)
+	}
+	var witness eval.Model
+	if phi.Witness != nil {
+		witness = eval.Model{}
+		for k, v := range phi.Witness {
+			if nn, ok := renames[k]; ok {
+				witness[nn] = v
+			} else {
+				witness[k] = v
+			}
+		}
+	}
+	return decls, asserts, witness
+}
+
+var zCounter int
+
+func (f *fuser) freshZ() string {
+	for {
+		zCounter++
+		name := fmt.Sprintf("z_fuse_%d", zCounter)
+		if !f.used[name] {
+			f.used[name] = true
+			return name
+		}
+	}
+}
+
+// instance is an instantiated fusion-function row applied to concrete
+// x, y, z variables.
+type instance struct {
+	apply   ast.Term // f(x, y)
+	invertX ast.Term // rx(y, z)
+	invertY ast.Term // ry(x, z)
+}
+
+// pickInstance chooses a fusion-function row for the sort, instantiated
+// with random coefficients. When a witness is required, rows whose
+// inversions are not exact under the witness are rejected (checked
+// generically by evaluation).
+func (f *fuser) pickInstance(sort ast.Sort, x, y, z *ast.Var, witness eval.Model, needExact bool) (instance, string, bool) {
+	var rows []FusionFn
+	for _, fn := range f.opts.Table {
+		if fn.Sort == sort {
+			rows = append(rows, fn)
+		}
+	}
+	if len(rows) == 0 {
+		return instance{}, "", false
+	}
+	order := f.rng.Perm(len(rows))
+	for _, i := range order {
+		fn := rows[i]
+		inst, desc := fn.Make(f.rng, x, y, z)
+		if !needExact {
+			return inst, desc, true
+		}
+		if f.exactUnder(inst, x, y, z, witness) {
+			return inst, desc, true
+		}
+	}
+	return instance{}, "", false
+}
+
+// exactUnder checks, by evaluation, that z := f(x,y) makes both
+// inversions recover x and y under the witness.
+func (f *fuser) exactUnder(inst instance, x, y, z *ast.Var, witness eval.Model) bool {
+	zv, err := eval.Term(inst.apply, witness)
+	if err != nil {
+		return false
+	}
+	probe := witness.Clone()
+	probe[z.Name] = zv
+	rx, err := eval.Term(inst.invertX, probe)
+	if err != nil || !eval.Equal(rx, probe[x.Name]) {
+		return false
+	}
+	ry, err := eval.Term(inst.invertY, probe)
+	if err != nil || !eval.Equal(ry, probe[y.Name]) {
+		return false
+	}
+	return true
+}
+
+// substRandom replaces each free occurrence of name in each assert with
+// probability ReplaceProb.
+func (f *fuser) substRandom(asserts []ast.Term, name string, repl ast.Term) []ast.Term {
+	out := make([]ast.Term, len(asserts))
+	for i, a := range asserts {
+		res, _, err := ast.SubstituteOccurrences(a, name, repl, func(int) bool {
+			return f.rng.Float64() < f.opts.ReplaceProb
+		})
+		if err != nil {
+			out[i] = a
+			continue
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func conj(ts []ast.Term) ast.Term {
+	if len(ts) == 0 {
+		return ast.True
+	}
+	return ast.And(ts...)
+}
+
+func fusableSort(s ast.Sort) bool {
+	return s == ast.SortInt || s == ast.SortReal || s == ast.SortString
+}

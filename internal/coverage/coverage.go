@@ -1,0 +1,175 @@
+// Package coverage is the probe-based substitute for Gcov in the
+// paper's RQ3/RQ4 experiments: the reference solver is instrumented
+// with named probes in three classes (line-like, function-like,
+// branch-like), a Tracker records which probes fire during a run, and
+// reports give hit/total percentages per class — the same relative
+// comparison (seed corpus vs ConcatFuzz vs YinYang) the paper performs
+// with line/function/branch coverage.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class is the kind of coverage a probe measures.
+type Class uint8
+
+const (
+	// Line marks an interesting straight-line code point.
+	Line Class = iota
+	// Function marks a function or procedure entry.
+	Function
+	// Branch marks one direction of a conditional.
+	Branch
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Line:
+		return "line"
+	case Function:
+		return "function"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Probe is a registered coverage point. Probes are created once at
+// package initialization (NewProbe) so the registry knows the total
+// universe of probes, mirroring compile-time instrumentation.
+type Probe struct {
+	ID    string
+	Class Class
+	idx   int
+}
+
+var (
+	regMu    sync.Mutex
+	registry []*Probe
+	byID     = map[string]*Probe{}
+)
+
+// NewProbe registers a probe. Duplicate IDs panic: probes model static
+// code locations.
+func NewProbe(id string, class Class) *Probe {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := byID[id]; dup {
+		panic(fmt.Sprintf("coverage: duplicate probe %q", id))
+	}
+	p := &Probe{ID: id, Class: class, idx: len(registry)}
+	registry = append(registry, p)
+	byID[id] = p
+	return p
+}
+
+// NumProbes returns the number of registered probes (all classes).
+func NumProbes() int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return len(registry)
+}
+
+// Tracker records probe hits for one measurement run. A nil Tracker is
+// valid and records nothing, so instrumented code needs no guards.
+type Tracker struct {
+	mu   sync.Mutex
+	hits map[int]uint64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{hits: map[int]uint64{}} }
+
+// Hit records that probe p fired.
+func (t *Tracker) Hit(p *Probe) {
+	if t == nil || p == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hits[p.idx]++
+	t.mu.Unlock()
+}
+
+// Merge adds all hits from other into t.
+func (t *Tracker) Merge(other *Tracker) {
+	if t == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	snapshot := make(map[int]uint64, len(other.hits))
+	for k, v := range other.hits {
+		snapshot[k] = v
+	}
+	other.mu.Unlock()
+	t.mu.Lock()
+	for k, v := range snapshot {
+		t.hits[k] += v
+	}
+	t.mu.Unlock()
+}
+
+// Counts holds hit/total for one class.
+type Counts struct {
+	Hit   int
+	Total int
+}
+
+// Percent returns 100·Hit/Total (0 when the class has no probes).
+func (c Counts) Percent() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Hit) / float64(c.Total)
+}
+
+// Report is per-class coverage of a tracker against the global registry.
+type Report struct {
+	ByClass [numClasses]Counts
+}
+
+// Report computes the tracker's coverage report.
+func (t *Tracker) Report() Report {
+	var r Report
+	regMu.Lock()
+	probes := make([]*Probe, len(registry))
+	copy(probes, registry)
+	regMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range probes {
+		r.ByClass[p.Class].Total++
+		if t.hits[p.idx] > 0 {
+			r.ByClass[p.Class].Hit++
+		}
+	}
+	return r
+}
+
+// Lines, Functions, Branches are class accessors.
+func (r Report) Lines() Counts     { return r.ByClass[Line] }
+func (r Report) Functions() Counts { return r.ByClass[Function] }
+func (r Report) Branches() Counts  { return r.ByClass[Branch] }
+
+// HitProbeIDs returns the sorted IDs of probes that fired — used by the
+// harness for bug triage diagnostics.
+func (t *Tracker) HitProbeIDs() []string {
+	regMu.Lock()
+	probes := make([]*Probe, len(registry))
+	copy(probes, registry)
+	regMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for _, p := range probes {
+		if t.hits[p.idx] > 0 {
+			out = append(out, p.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,121 @@
+package coverage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Probes for this test file (the registry is global and append-only,
+// mirroring static instrumentation).
+var (
+	tpLine   = NewProbe("test.line", Line)
+	tpFunc   = NewProbe("test.func", Function)
+	tpBranch = NewProbe("test.branch", Branch)
+	tpCold   = NewProbe("test.cold", Line)
+)
+
+func TestDuplicateProbePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate probe did not panic")
+		}
+	}()
+	NewProbe("test.line", Branch)
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tr := NewTracker()
+	tr.Hit(tpLine)
+	tr.Hit(tpLine)
+	tr.Hit(tpFunc)
+	rep := tr.Report()
+	if rep.Lines().Hit < 1 || rep.Functions().Hit < 1 {
+		t.Errorf("report: %+v", rep)
+	}
+	// tpCold never hit: hit < total for Line class.
+	if rep.Lines().Hit >= rep.Lines().Total {
+		t.Errorf("cold probe counted as hit: %+v", rep.Lines())
+	}
+	if rep.Branches().Hit != 0 {
+		t.Errorf("branch hits = %d, want 0", rep.Branches().Hit)
+	}
+	ids := tr.HitProbeIDs()
+	want := map[string]bool{"test.line": true, "test.func": true}
+	for _, id := range ids {
+		if id == "test.cold" {
+			t.Error("cold probe in hit list")
+		}
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing hit IDs: %v (got %v)", want, ids)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracker
+	tr.Hit(tpLine) // must not panic
+	tr.Merge(nil)  // must not panic
+	tr2 := NewTracker()
+	tr2.Hit(nil)   // nil probe must not panic
+	tr2.Merge(nil) // nil other must not panic
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewTracker(), NewTracker()
+	a.Hit(tpLine)
+	b.Hit(tpBranch)
+	a.Merge(b)
+	rep := a.Report()
+	if rep.Branches().Hit != 1 {
+		t.Errorf("merge lost branch hit: %+v", rep)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	c := Counts{Hit: 1, Total: 4}
+	if got := c.Percent(); got != 25 {
+		t.Errorf("Percent = %v", got)
+	}
+	if (Counts{}).Percent() != 0 {
+		t.Error("empty class should be 0%")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Hit(tpLine)
+				tr.Hit(tpBranch)
+			}
+		}()
+	}
+	wg.Wait()
+	rep := tr.Report()
+	if rep.Lines().Hit == 0 || rep.Branches().Hit == 0 {
+		t.Error("concurrent hits lost")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{Line: "line", Function: "function", Branch: "branch"} {
+		if c.String() != want {
+			t.Errorf("Class %d = %q", c, c.String())
+		}
+	}
+	if got := Class(9).String(); got != fmt.Sprintf("Class(%d)", 9) {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestNumProbes(t *testing.T) {
+	if NumProbes() < 4 {
+		t.Errorf("NumProbes = %d", NumProbes())
+	}
+}

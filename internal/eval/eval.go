@@ -1,0 +1,514 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/regex"
+)
+
+// ErrQuantifier is returned when a term contains a quantifier:
+// evaluation over unbounded domains is not decidable by enumeration, so
+// callers must treat quantified formulas separately.
+var ErrQuantifier = errors.New("eval: cannot evaluate quantified term")
+
+// ErrUnbound is wrapped when a free variable has no model entry.
+var ErrUnbound = errors.New("eval: unbound variable")
+
+// Term evaluates t under model m.
+func Term(t ast.Term, m Model) (Value, error) {
+	switch n := t.(type) {
+	case *ast.Var:
+		v, ok := m[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnbound, n.Name)
+		}
+		if v.Sort() != n.VSort {
+			return nil, fmt.Errorf("eval: model value for %s has sort %v, want %v", n.Name, v.Sort(), n.VSort)
+		}
+		return v, nil
+	case *ast.BoolLit:
+		return BoolV(n.V), nil
+	case *ast.IntLit:
+		return IntV{V: n.V}, nil
+	case *ast.RealLit:
+		return RealV{V: n.V}, nil
+	case *ast.StrLit:
+		return StrV(n.V), nil
+	case *ast.Quant:
+		return nil, ErrQuantifier
+	case *ast.App:
+		return app(n, m)
+	default:
+		return nil, fmt.Errorf("eval: unknown term %T", t)
+	}
+}
+
+// Bool evaluates a boolean term, unwrapping the result.
+func Bool(t ast.Term, m Model) (bool, error) {
+	v, err := Term(t, m)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(BoolV)
+	if !ok {
+		return false, fmt.Errorf("eval: expected Bool, got %v", v.Sort())
+	}
+	return bool(b), nil
+}
+
+func app(n *ast.App, m Model) (Value, error) {
+	// Short-circuiting boolean operators evaluate lazily so that models
+	// need not define values along pruned branches.
+	switch n.Op {
+	case ast.OpAnd:
+		for _, a := range n.Args {
+			b, err := Bool(a, m)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				return BoolV(false), nil
+			}
+		}
+		return BoolV(true), nil
+	case ast.OpOr:
+		for _, a := range n.Args {
+			b, err := Bool(a, m)
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				return BoolV(true), nil
+			}
+		}
+		return BoolV(false), nil
+	case ast.OpImplies:
+		// Right-associative: (=> a b c) = (=> a (=> b c)).
+		for i := 0; i < len(n.Args)-1; i++ {
+			b, err := Bool(n.Args[i], m)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				return BoolV(true), nil
+			}
+		}
+		return Term(n.Args[len(n.Args)-1], m)
+	case ast.OpIte:
+		c, err := Bool(n.Args[0], m)
+		if err != nil {
+			return nil, err
+		}
+		if c {
+			return Term(n.Args[1], m)
+		}
+		return Term(n.Args[2], m)
+	case ast.OpStrInRe:
+		s, err := Term(n.Args[0], m)
+		if err != nil {
+			return nil, err
+		}
+		re, err := evalRegex(n.Args[1], m)
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(regex.Match(re, string(s.(StrV)))), nil
+	}
+
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := Term(a, m)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return applyOp(n.Op, args)
+}
+
+func applyOp(op ast.Op, args []Value) (Value, error) {
+	switch op {
+	case ast.OpNot:
+		return BoolV(!bool(args[0].(BoolV))), nil
+	case ast.OpXor:
+		out := false
+		for _, a := range args {
+			out = out != bool(a.(BoolV))
+		}
+		return BoolV(out), nil
+	case ast.OpEq:
+		for i := 1; i < len(args); i++ {
+			if !Equal(args[0], args[i]) {
+				return BoolV(false), nil
+			}
+		}
+		return BoolV(true), nil
+	case ast.OpDistinct:
+		for i := 0; i < len(args); i++ {
+			for j := i + 1; j < len(args); j++ {
+				if Equal(args[i], args[j]) {
+					return BoolV(false), nil
+				}
+			}
+		}
+		return BoolV(true), nil
+
+	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpNeg, ast.OpRealDiv,
+		ast.OpIntDiv, ast.OpMod, ast.OpAbs:
+		return arith(op, args)
+	case ast.OpLe, ast.OpLt, ast.OpGe, ast.OpGt:
+		return compareChain(op, args)
+	case ast.OpToReal:
+		return RealV{V: new(big.Rat).SetInt(args[0].(IntV).V)}, nil
+	case ast.OpToInt:
+		return RealFloor(args[0].(RealV)), nil
+	case ast.OpIsInt:
+		return BoolV(args[0].(RealV).V.IsInt()), nil
+
+	default:
+		return stringOp(op, args)
+	}
+}
+
+// RealFloor returns floor(v) as an integer value.
+func RealFloor(v RealV) IntV {
+	q := new(big.Int)
+	rem := new(big.Int)
+	q.QuoRem(v.V.Num(), v.V.Denom(), rem)
+	if rem.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return IntV{V: q}
+}
+
+func arith(op ast.Op, args []Value) (Value, error) {
+	if _, isInt := args[0].(IntV); isInt {
+		return intArith(op, args)
+	}
+	return realArith(op, args)
+}
+
+func intArith(op ast.Op, args []Value) (Value, error) {
+	get := func(i int) *big.Int { return args[i].(IntV).V }
+	out := new(big.Int)
+	switch op {
+	case ast.OpAdd:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out.Add(out, get(i))
+		}
+	case ast.OpSub:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out.Sub(out, get(i))
+		}
+	case ast.OpMul:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out.Mul(out, get(i))
+		}
+	case ast.OpNeg:
+		out.Neg(get(0))
+	case ast.OpAbs:
+		out.Abs(get(0))
+	case ast.OpIntDiv:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out = euclideanDiv(out, get(i))
+		}
+	case ast.OpMod:
+		return IntV{V: euclideanMod(get(0), get(1))}, nil
+	default:
+		return nil, fmt.Errorf("eval: bad int op %v", op)
+	}
+	return IntV{V: out}, nil
+}
+
+// euclideanDiv implements SMT-LIB (div m n): the unique q with
+// m = n·q + r and 0 ≤ r < |n|. Division by zero yields 0 (this
+// package's fixed interpretation of the underspecified case).
+func euclideanDiv(m, n *big.Int) *big.Int {
+	if n.Sign() == 0 {
+		return big.NewInt(0)
+	}
+	q := new(big.Int)
+	r := new(big.Int)
+	q.QuoRem(m, n, r)
+	if r.Sign() < 0 {
+		if n.Sign() > 0 {
+			q.Sub(q, big.NewInt(1))
+		} else {
+			q.Add(q, big.NewInt(1))
+		}
+	}
+	return q
+}
+
+// euclideanMod implements SMT-LIB (mod m n) with 0 ≤ r < |n|.
+// Modulo by zero yields m (the fixed interpretation).
+func euclideanMod(m, n *big.Int) *big.Int {
+	if n.Sign() == 0 {
+		return new(big.Int).Set(m)
+	}
+	r := new(big.Int).Mod(m, new(big.Int).Abs(n))
+	return r
+}
+
+func realArith(op ast.Op, args []Value) (Value, error) {
+	get := func(i int) *big.Rat { return args[i].(RealV).V }
+	out := new(big.Rat)
+	switch op {
+	case ast.OpAdd:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out.Add(out, get(i))
+		}
+	case ast.OpSub:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out.Sub(out, get(i))
+		}
+	case ast.OpMul:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			out.Mul(out, get(i))
+		}
+	case ast.OpNeg:
+		out.Neg(get(0))
+	case ast.OpRealDiv:
+		out.Set(get(0))
+		for i := 1; i < len(args); i++ {
+			d := get(i)
+			if d.Sign() == 0 {
+				// Fixed interpretation: x/0 = 0.
+				out.SetInt64(0)
+			} else {
+				out.Quo(out, d)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("eval: bad real op %v", op)
+	}
+	return RealV{V: out}, nil
+}
+
+func compareChain(op ast.Op, args []Value) (Value, error) {
+	cmp := func(a, b Value) int {
+		if x, ok := a.(IntV); ok {
+			return x.V.Cmp(b.(IntV).V)
+		}
+		return a.(RealV).V.Cmp(b.(RealV).V)
+	}
+	for i := 0; i+1 < len(args); i++ {
+		c := cmp(args[i], args[i+1])
+		ok := false
+		switch op {
+		case ast.OpLe:
+			ok = c <= 0
+		case ast.OpLt:
+			ok = c < 0
+		case ast.OpGe:
+			ok = c >= 0
+		case ast.OpGt:
+			ok = c > 0
+		}
+		if !ok {
+			return BoolV(false), nil
+		}
+	}
+	return BoolV(true), nil
+}
+
+func stringOp(op ast.Op, args []Value) (Value, error) {
+	str := func(i int) string { return string(args[i].(StrV)) }
+	intArg := func(i int) *big.Int { return args[i].(IntV).V }
+	switch op {
+	case ast.OpStrConcat:
+		var b strings.Builder
+		for i := range args {
+			b.WriteString(str(i))
+		}
+		return StrV(b.String()), nil
+	case ast.OpStrLen:
+		return IntV{V: big.NewInt(int64(len(str(0))))}, nil
+	case ast.OpStrAt:
+		return StrV(strAt(str(0), intArg(1))), nil
+	case ast.OpStrSubstr:
+		return StrV(strSubstr(str(0), intArg(1), intArg(2))), nil
+	case ast.OpStrIndexOf:
+		return IntV{V: strIndexOf(str(0), str(1), intArg(2))}, nil
+	case ast.OpStrReplace:
+		return StrV(strReplace(str(0), str(1), str(2))), nil
+	case ast.OpStrReplaceAll:
+		return StrV(strReplaceAll(str(0), str(1), str(2))), nil
+	case ast.OpStrPrefixOf:
+		return BoolV(strings.HasPrefix(str(1), str(0))), nil
+	case ast.OpStrSuffixOf:
+		return BoolV(strings.HasSuffix(str(1), str(0))), nil
+	case ast.OpStrContains:
+		return BoolV(strings.Contains(str(0), str(1))), nil
+	case ast.OpStrToInt:
+		return IntV{V: StrToInt(str(0))}, nil
+	case ast.OpStrFromInt:
+		return StrV(StrFromInt(intArg(0))), nil
+	case ast.OpStrLtOp:
+		return BoolV(str(0) < str(1)), nil
+	case ast.OpStrLeOp:
+		return BoolV(str(0) <= str(1)), nil
+	default:
+		return nil, fmt.Errorf("eval: unsupported operator %v", op)
+	}
+}
+
+func strAt(s string, i *big.Int) string {
+	if !i.IsInt64() {
+		return ""
+	}
+	idx := i.Int64()
+	if idx < 0 || idx >= int64(len(s)) {
+		return ""
+	}
+	return s[idx : idx+1]
+}
+
+func strSubstr(s string, i, n *big.Int) string {
+	if !i.IsInt64() || i.Sign() < 0 || i.Int64() >= int64(len(s)) || n.Sign() <= 0 {
+		return ""
+	}
+	start := i.Int64()
+	length := int64(len(s)) - start
+	if n.IsInt64() && n.Int64() < length {
+		length = n.Int64()
+	}
+	return s[start : start+length]
+}
+
+func strIndexOf(s, t string, from *big.Int) *big.Int {
+	if !from.IsInt64() {
+		return big.NewInt(-1)
+	}
+	i := from.Int64()
+	if i < 0 || i > int64(len(s)) {
+		return big.NewInt(-1)
+	}
+	idx := strings.Index(s[i:], t)
+	if idx < 0 {
+		return big.NewInt(-1)
+	}
+	return big.NewInt(i + int64(idx))
+}
+
+func strReplace(s, t, u string) string {
+	if t == "" {
+		// SMT-LIB: replacing the empty string prepends u.
+		return u + s
+	}
+	idx := strings.Index(s, t)
+	if idx < 0 {
+		return s
+	}
+	return s[:idx] + u + s[idx+len(t):]
+}
+
+func strReplaceAll(s, t, u string) string {
+	if t == "" {
+		return u + s
+	}
+	return strings.ReplaceAll(s, t, u)
+}
+
+// StrToInt implements SMT-LIB str.to_int: the denoted non-negative
+// decimal numeral, or -1 if s is not a (non-empty) digit sequence.
+func StrToInt(s string) *big.Int {
+	if s == "" {
+		return big.NewInt(-1)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return big.NewInt(-1)
+		}
+	}
+	v, _ := new(big.Int).SetString(s, 10)
+	return v
+}
+
+// StrFromInt implements SMT-LIB str.from_int: the decimal numeral for
+// non-negative n, "" otherwise.
+func StrFromInt(n *big.Int) string {
+	if n.Sign() < 0 {
+		return ""
+	}
+	return n.String()
+}
+
+// evalRegex evaluates a RegLan term whose string leaves may mention
+// model variables (e.g. (str.to_re x)).
+func evalRegex(t ast.Term, m Model) (regex.Regex, error) {
+	app, ok := t.(*ast.App)
+	if !ok {
+		return nil, fmt.Errorf("eval: non-application RegLan term")
+	}
+	switch app.Op {
+	case ast.OpStrToRe:
+		v, err := Term(app.Args[0], m)
+		if err != nil {
+			return nil, err
+		}
+		return regex.Lit(string(v.(StrV))), nil
+	case ast.OpReRange:
+		lo, err := Term(app.Args[0], m)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Term(app.Args[1], m)
+		if err != nil {
+			return nil, err
+		}
+		l, h := string(lo.(StrV)), string(hi.(StrV))
+		if len(l) != 1 || len(h) != 1 {
+			return regex.None(), nil
+		}
+		return regex.Range(l[0], h[0]), nil
+	}
+	subs := make([]regex.Regex, len(app.Args))
+	for i, a := range app.Args {
+		if a.Sort() != ast.SortRegLan {
+			return nil, fmt.Errorf("eval: unexpected %v argument to %v", a.Sort(), app.Op)
+		}
+		s, err := evalRegex(a, m)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = s
+	}
+	switch app.Op {
+	case ast.OpReStar:
+		return regex.Star(subs[0]), nil
+	case ast.OpRePlus:
+		return regex.Plus(subs[0]), nil
+	case ast.OpReOpt:
+		return regex.Opt(subs[0]), nil
+	case ast.OpReUnion:
+		return regex.Union(subs...), nil
+	case ast.OpReInter:
+		return regex.Inter(subs...), nil
+	case ast.OpReConcat:
+		return regex.Concat(subs...), nil
+	case ast.OpReComp:
+		return regex.Comp(subs[0]), nil
+	case ast.OpReDiff:
+		return regex.Diff(subs[0], subs[1]), nil
+	case ast.OpReAllChar:
+		return regex.AnyChar(), nil
+	case ast.OpReAll:
+		return regex.All(), nil
+	case ast.OpReNone:
+		return regex.None(), nil
+	default:
+		return nil, fmt.Errorf("eval: unsupported RegLan operator %v", app.Op)
+	}
+}

@@ -1,0 +1,327 @@
+// Package harness implements YinYang's testing loop (the paper's
+// Algorithm 1) and the full experiment suite: seed-pool management,
+// fusion or concatenation of random seed pairs, running a solver under
+// test with crash capture and resource classification, triaging
+// findings into deduplicated bugs, and parallel campaign execution.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/bugdb"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+// RunResult is one solver-under-test invocation with crash capture.
+type RunResult struct {
+	Result       solver.Result
+	Reason       string
+	Crashed      bool
+	CrashMsg     string
+	DefectsFired []solver.Defect
+}
+
+// RunSolver invokes the solver on a script, recovering crash-defect
+// panics the way the paper's harness observes solver segfaults.
+func RunSolver(s *solver.Solver, sc *smtlib.Script) (out RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.Crashed = true
+			if ce, ok := r.(*solver.CrashError); ok {
+				out.CrashMsg = ce.Error()
+				out.DefectsFired = append(out.DefectsFired, ce.Site)
+			} else {
+				out.CrashMsg = fmt.Sprint(r)
+			}
+		}
+	}()
+	res := s.SolveScript(sc)
+	return RunResult{
+		Result:       res.Result,
+		Reason:       res.Reason,
+		DefectsFired: res.DefectsFired,
+	}
+}
+
+// Bug is one deduplicated finding.
+type Bug struct {
+	Defect   solver.Defect
+	Kind     bugdb.BugType
+	Logic    gen.Logic
+	Oracle   core.Status
+	Observed solver.Result
+	Script   *smtlib.Script
+	// Ancestors are the two seeds whose fusion triggered the bug
+	// (used by the RQ4 retrigger experiment).
+	Ancestors [2]*core.Seed
+	// Mode is the fusion mode that triggered the bug.
+	Mode core.Mode
+}
+
+// Campaign configures one fuzzing run (Algorithm 1 plus seed-pool
+// construction).
+type Campaign struct {
+	SUT     bugdb.SUT
+	Release string // "" = trunk
+	Logics  []gen.Logic
+	// Iterations is the number of fused tests per logic.
+	Iterations int
+	// SeedPool is the number of sat and unsat seeds per logic pool.
+	SeedPool int
+	Seed     int64
+	Threads  int // ≤ 1 = single-threaded
+	// ConcatOnly switches to the ConcatFuzz baseline (RQ4).
+	ConcatOnly bool
+	// Fusion tunes the fusion engine.
+	Fusion core.Options
+}
+
+func (c Campaign) withDefaults() Campaign {
+	if c.Release == "" {
+		c.Release = "trunk"
+	}
+	if len(c.Logics) == 0 {
+		c.Logics = gen.AllLogics
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 200
+	}
+	if c.SeedPool == 0 {
+		c.SeedPool = 20
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	Tests      int
+	Unknowns   int
+	Bugs       []Bug // deduplicated by defect site
+	Duplicates int   // additional triggers of already-found defects
+	// ReferenceDisagreements counts oracle mismatches with no defect
+	// fired — these would indicate a bug in the reference solver itself
+	// and must be zero.
+	ReferenceDisagreements int
+}
+
+// BugByDefect returns the bug for a defect, if found.
+func (r *Result) BugByDefect(d solver.Defect) (Bug, bool) {
+	for _, b := range r.Bugs {
+		if b.Defect == d {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// Run executes the campaign.
+func Run(cfg Campaign) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Threads <= 1 {
+		return runShard(cfg, cfg.Seed)
+	}
+	// Parallel mode: shard iterations across workers with distinct
+	// deterministic streams, then merge.
+	shardCfg := cfg
+	shardCfg.Iterations = (cfg.Iterations + cfg.Threads - 1) / cfg.Threads
+	results := make([]*Result, cfg.Threads)
+	errs := make([]error, cfg.Threads)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = runShard(shardCfg, cfg.Seed+int64(w)*7919)
+		}(w)
+	}
+	wg.Wait()
+	merged := &Result{}
+	seen := map[solver.Defect]bool{}
+	for w := 0; w < cfg.Threads; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		r := results[w]
+		merged.Tests += r.Tests
+		merged.Unknowns += r.Unknowns
+		merged.Duplicates += r.Duplicates
+		merged.ReferenceDisagreements += r.ReferenceDisagreements
+		for _, b := range r.Bugs {
+			if seen[b.Defect] {
+				merged.Duplicates++
+				continue
+			}
+			seen[b.Defect] = true
+			merged.Bugs = append(merged.Bugs, b)
+		}
+	}
+	sortBugs(merged.Bugs)
+	return merged, nil
+}
+
+func runShard(cfg Campaign, seed int64) (*Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sut, err := bugdb.NewSolver(cfg.SUT, cfg.Release, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	found := map[solver.Defect]bool{}
+
+	for _, logic := range cfg.Logics {
+		g, err := gen.New(logic, seed^int64(len(logic))*104729)
+		if err != nil {
+			return nil, err
+		}
+		pool := buildPool(g, cfg.SeedPool, sut)
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			oracle := core.StatusSat
+			if rng.Intn(2) == 1 {
+				oracle = core.StatusUnsat
+			}
+			s1, s2 := pool.pick(oracle, rng), pool.pick(oracle, rng)
+			var fused *core.Fused
+			if cfg.ConcatOnly {
+				fused, err = core.Concat(s1, s2, rng)
+			} else {
+				fused, err = core.Fuse(s1, s2, rng, cfg.Fusion)
+			}
+			if err != nil {
+				continue // no fusable pair: skip this pair
+			}
+			res.Tests++
+			run := RunSolver(sut, fused.Script)
+			classify(res, found, cfg, logic, fused, [2]*core.Seed{s1, s2}, run)
+		}
+	}
+	sortBugs(res.Bugs)
+	return res, nil
+}
+
+// classify implements the incorrects/crashes bookkeeping of
+// Algorithm 1, extended with performance-defect observation and
+// duplicate triage by defect site.
+func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, logic gen.Logic, fused *core.Fused, ancestors [2]*core.Seed, run RunResult) {
+	record := func(kind bugdb.BugType) {
+		primary, ok := primaryDefect(run.DefectsFired, kind)
+		if !ok {
+			res.ReferenceDisagreements++
+			return
+		}
+		if found[primary] {
+			res.Duplicates++
+			return
+		}
+		found[primary] = true
+		res.Bugs = append(res.Bugs, Bug{
+			Defect:    primary,
+			Kind:      kind,
+			Logic:     logic,
+			Oracle:    fused.Oracle,
+			Observed:  run.Result,
+			Script:    fused.Script,
+			Ancestors: ancestors,
+			Mode:      fused.Mode,
+		})
+	}
+
+	switch {
+	case run.Crashed:
+		record(bugdb.Crash)
+	case run.Result == solver.ResUnknown:
+		res.Unknowns++
+		// A performance defect firing on the way to unknown is the
+		// paper's "performance bug" observation.
+		if _, ok := primaryDefect(run.DefectsFired, bugdb.Performance); ok {
+			record(bugdb.Performance)
+		}
+	case (run.Result == solver.ResSat) != (fused.Oracle == core.StatusSat):
+		record(bugdb.Soundness)
+	}
+}
+
+// primaryDefect picks the fired defect matching the observed bug kind
+// (triaging the report to its root cause, like the paper's interaction
+// with the solver developers).
+func primaryDefect(fired []solver.Defect, kind bugdb.BugType) (solver.Defect, bool) {
+	var fallback solver.Defect
+	haveFallback := false
+	for _, d := range fired {
+		e, ok := bugdb.Find(d)
+		if !ok {
+			continue
+		}
+		if e.Type == kind {
+			return d, true
+		}
+		if !haveFallback {
+			fallback, haveFallback = d, true
+		}
+	}
+	// A soundness observation can be rooted in any wrong-transformation
+	// defect even if catalogued under another logic; crashes must match
+	// a crash site.
+	if kind == bugdb.Soundness && haveFallback {
+		return fallback, true
+	}
+	return "", false
+}
+
+func sortBugs(bugs []Bug) {
+	sort.Slice(bugs, func(i, j int) bool { return bugs[i].Defect < bugs[j].Defect })
+}
+
+// pool holds per-status seed lists.
+type seedPool struct {
+	sat   []*core.Seed
+	unsat []*core.Seed
+}
+
+// buildPool generates the seed corpus. Mirroring the paper's setup —
+// the SMT-LIB benchmarks "are unlikely to trigger bugs in Z3 and CVC4
+// since they have already been run on them" — seeds on which the solver
+// under test misbehaves (wrong result or crash) are discarded and
+// regenerated, so every finding requires combining seeds.
+func buildPool(g *gen.Generator, n int, sut *solver.Solver) *seedPool {
+	p := &seedPool{}
+	vetted := func(status core.Status) *core.Seed {
+		for try := 0; try < 10; try++ {
+			s := g.Generate(status)
+			if sut == nil {
+				return s
+			}
+			run := RunSolver(sut, s.Script)
+			if run.Crashed {
+				continue
+			}
+			if run.Result != solver.ResUnknown &&
+				(run.Result == solver.ResSat) != (status == core.StatusSat) {
+				continue
+			}
+			return s
+		}
+		return g.Generate(status)
+	}
+	for i := 0; i < n; i++ {
+		p.sat = append(p.sat, vetted(core.StatusSat))
+		p.unsat = append(p.unsat, vetted(core.StatusUnsat))
+	}
+	return p
+}
+
+func (p *seedPool) pick(status core.Status, rng *rand.Rand) *core.Seed {
+	if status == core.StatusSat {
+		return p.sat[rng.Intn(len(p.sat))]
+	}
+	return p.unsat[rng.Intn(len(p.unsat))]
+}

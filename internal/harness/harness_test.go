@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/bugdb"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+func TestRunSolverCrashCapture(t *testing.T) {
+	src := `
+(set-logic QF_NRA)
+(declare-fun a () Real)
+(assert (> (/ (+ a 1.0) (+ a 1.0)) 0.0))
+(check-sat)
+`
+	sc, err := smtlib.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy := solver.New(solver.Config{Defects: map[solver.Defect]bool{solver.DefCrashSelfDivision: true}})
+	run := RunSolver(buggy, sc)
+	if !run.Crashed {
+		t.Fatalf("crash not captured: %+v", run)
+	}
+	if len(run.DefectsFired) == 0 || run.DefectsFired[0] != solver.DefCrashSelfDivision {
+		t.Errorf("crash site not recorded: %v", run.DefectsFired)
+	}
+	// Reference does not crash.
+	run = RunSolver(solver.NewReference(), sc)
+	if run.Crashed {
+		t.Errorf("reference crashed: %v", run.CrashMsg)
+	}
+}
+
+func TestReferenceCampaignFindsNothing(t *testing.T) {
+	// Against a defect-free release... there is none in the catalogue,
+	// so run the reference solver directly through the loop by using a
+	// campaign against cvc4sim 1.5 but with logics where its defects
+	// cannot fire (pure linear real arithmetic).
+	res, err := Run(Campaign{
+		SUT:        bugdb.CVC4Sim,
+		Release:    "1.5",
+		Logics:     []gen.Logic{gen.LRA},
+		Iterations: 60,
+		SeedPool:   10,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReferenceDisagreements != 0 {
+		t.Fatalf("reference disagreements: %d", res.ReferenceDisagreements)
+	}
+	for _, b := range res.Bugs {
+		e, _ := bugdb.Find(b.Defect)
+		t.Logf("found %s (%s, %s)", b.Defect, e.Type, b.Logic)
+	}
+}
+
+func TestCampaignFindsSeededBugs(t *testing.T) {
+	res, err := Run(Campaign{
+		SUT:        bugdb.Z3Sim,
+		Iterations: 80,
+		SeedPool:   12,
+		Seed:       7,
+		Threads:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReferenceDisagreements != 0 {
+		t.Fatalf("oracle mismatches without defect: %d — the reference solver is unsound", res.ReferenceDisagreements)
+	}
+	if len(res.Bugs) == 0 {
+		t.Fatal("campaign found no bugs in the trunk z3sim")
+	}
+	t.Logf("tests=%d unknowns=%d bugs=%d dups=%d", res.Tests, res.Unknowns, len(res.Bugs), res.Duplicates)
+	for _, b := range res.Bugs {
+		t.Logf("  %s kind=%s logic=%s oracle=%v observed=%v", b.Defect, b.Kind, b.Logic, b.Oracle, b.Observed)
+	}
+}
+
+func TestCampaignCVC4Sim(t *testing.T) {
+	res, err := Run(Campaign{
+		SUT:        bugdb.CVC4Sim,
+		Iterations: 80,
+		SeedPool:   12,
+		Seed:       11,
+		Threads:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReferenceDisagreements != 0 {
+		t.Fatalf("reference disagreements: %d", res.ReferenceDisagreements)
+	}
+	t.Logf("cvc4sim: tests=%d bugs=%d", res.Tests, len(res.Bugs))
+	for _, b := range res.Bugs {
+		t.Logf("  %s kind=%s logic=%s", b.Defect, b.Kind, b.Logic)
+	}
+}
+
+func TestConcatFuzzFindsFewer(t *testing.T) {
+	base := Campaign{SUT: bugdb.Z3Sim, Iterations: 40, SeedPool: 10, Seed: 3, Threads: 4}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concat := base
+	concat.ConcatOnly = true
+	co, err := Run(concat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("yinyang=%d concatfuzz=%d", len(full.Bugs), len(co.Bugs))
+	if len(co.Bugs) > len(full.Bugs) {
+		t.Errorf("ConcatFuzz found more bugs (%d) than YinYang (%d)", len(co.Bugs), len(full.Bugs))
+	}
+	if co.ReferenceDisagreements != 0 {
+		t.Fatalf("concat reference disagreements: %d", co.ReferenceDisagreements)
+	}
+}
+
+func TestParallelMatchesMergeInvariants(t *testing.T) {
+	res, err := Run(Campaign{
+		SUT:        bugdb.Z3Sim,
+		Logics:     []gen.Logic{gen.QFS, gen.QFNRA},
+		Iterations: 80,
+		SeedPool:   10,
+		Seed:       5,
+		Threads:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReferenceDisagreements != 0 {
+		t.Fatalf("reference disagreements: %d", res.ReferenceDisagreements)
+	}
+	seen := map[solver.Defect]bool{}
+	for _, b := range res.Bugs {
+		if seen[b.Defect] {
+			t.Errorf("duplicate defect %s after merge", b.Defect)
+		}
+		seen[b.Defect] = true
+	}
+}
+
+func TestOldReleaseFindsSubset(t *testing.T) {
+	trunk, err := Run(Campaign{SUT: bugdb.Z3Sim, Iterations: 50, SeedPool: 10, Seed: 13, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Run(Campaign{SUT: bugdb.Z3Sim, Release: "4.5.0", Iterations: 50, SeedPool: 10, Seed: 13, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every defect found in 4.5.0 must be one that affects 4.5.0.
+	for _, b := range old.Bugs {
+		if !bugdb.Affects(b.Defect, "4.5.0") {
+			t.Errorf("bug %s found in 4.5.0 but not catalogued for it", b.Defect)
+		}
+	}
+	t.Logf("trunk=%d old=%d", len(trunk.Bugs), len(old.Bugs))
+}
+
+func TestBugAncestorsRecorded(t *testing.T) {
+	res, err := Run(Campaign{SUT: bugdb.Z3Sim, Iterations: 50, SeedPool: 10, Seed: 21, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Bugs {
+		if b.Ancestors[0] == nil || b.Ancestors[1] == nil || b.Script == nil {
+			t.Errorf("bug %s missing ancestors or script", b.Defect)
+		}
+		if b.Oracle == core.StatusSat && b.Observed == solver.ResSat && b.Kind == bugdb.Soundness {
+			t.Errorf("bug %s: agreeing result marked soundness", b.Defect)
+		}
+	}
+}

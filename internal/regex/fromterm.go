@@ -1,0 +1,109 @@
+package regex
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// FromTerm converts a ground RegLan term into a Regex. Terms containing
+// free variables (e.g. (str.to_re x)) are reported as an error; callers
+// treat such memberships as undecided.
+func FromTerm(t ast.Term) (Regex, error) {
+	app, ok := t.(*ast.App)
+	if !ok {
+		return nil, fmt.Errorf("regex: non-application RegLan term %s", ast.Print(t))
+	}
+	sub := func(i int) (Regex, error) { return FromTerm(app.Args[i]) }
+	subAll := func() ([]Regex, error) {
+		out := make([]Regex, len(app.Args))
+		for i := range app.Args {
+			r, err := FromTerm(app.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	switch app.Op {
+	case ast.OpStrToRe:
+		lit, ok := app.Args[0].(*ast.StrLit)
+		if !ok {
+			return nil, fmt.Errorf("regex: non-literal str.to_re argument %s", ast.Print(app.Args[0]))
+		}
+		return Lit(lit.V), nil
+	case ast.OpReRange:
+		lo, ok1 := app.Args[0].(*ast.StrLit)
+		hi, ok2 := app.Args[1].(*ast.StrLit)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("regex: non-literal re.range bounds")
+		}
+		// Per SMT-LIB, re.range is empty unless both bounds are
+		// single-character strings.
+		if len(lo.V) != 1 || len(hi.V) != 1 {
+			return None(), nil
+		}
+		return Range(lo.V[0], hi.V[0]), nil
+	case ast.OpReStar:
+		r, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return Star(r), nil
+	case ast.OpRePlus:
+		r, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return Plus(r), nil
+	case ast.OpReOpt:
+		r, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return Opt(r), nil
+	case ast.OpReUnion:
+		rs, err := subAll()
+		if err != nil {
+			return nil, err
+		}
+		return Union(rs...), nil
+	case ast.OpReInter:
+		rs, err := subAll()
+		if err != nil {
+			return nil, err
+		}
+		return Inter(rs...), nil
+	case ast.OpReConcat:
+		rs, err := subAll()
+		if err != nil {
+			return nil, err
+		}
+		return Concat(rs...), nil
+	case ast.OpReComp:
+		r, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return Comp(r), nil
+	case ast.OpReDiff:
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		return Diff(a, b), nil
+	case ast.OpReAllChar:
+		return AnyChar(), nil
+	case ast.OpReAll:
+		return All(), nil
+	case ast.OpReNone:
+		return None(), nil
+	default:
+		return nil, fmt.Errorf("regex: unsupported RegLan operator %v", app.Op)
+	}
+}

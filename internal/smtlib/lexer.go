@@ -1,0 +1,284 @@
+// Package smtlib implements a reader and writer for the SMT-LIB v2
+// concrete syntax: a lexer, an s-expression parser, an elaborator that
+// produces typed ast terms and script commands, and a printer. Both the
+// 2.6 spellings (str.to_int, str.in_re, …) and the legacy 2.0/2.5
+// spellings used by the paper's examples (str.to.int, str.in.re, …) are
+// accepted; printing uses the canonical 2.6 forms.
+package smtlib
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokSymbol
+	tokKeyword // :keyword
+	tokNumeral // 123
+	tokDecimal // 1.5
+	tokString  // "..."
+)
+
+type token struct {
+	kind tokenKind
+	text string // for strings: the unescaped value
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Error is a parse or elaboration error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) peek() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func isSymbolChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	return strings.IndexByte("~!@$%^&*_-+=<>.?/", c) >= 0
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for {
+		c, ok := lx.peek()
+		if !ok {
+			return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == ';': // comment to end of line
+			for {
+				c, ok := lx.peek()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		default:
+			goto tokenStart
+		}
+	}
+tokenStart:
+	line, col := lx.line, lx.col
+	c := lx.advance()
+	switch {
+	case c == '(':
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case c == ')':
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case c == '"':
+		return lx.lexString(line, col)
+	case c == '|': // quoted symbol
+		start := lx.pos
+		for {
+			ch, ok := lx.peek()
+			if !ok {
+				return token{}, errAt(line, col, "unterminated quoted symbol")
+			}
+			if ch == '|' {
+				text := lx.src[start:lx.pos]
+				lx.advance()
+				return token{kind: tokSymbol, text: text, line: line, col: col}, nil
+			}
+			lx.advance()
+		}
+	case c == ':':
+		start := lx.pos
+		for {
+			ch, ok := lx.peek()
+			if !ok || !isSymbolChar(ch) {
+				break
+			}
+			lx.advance()
+		}
+		return token{kind: tokKeyword, text: ":" + lx.src[start:lx.pos], line: line, col: col}, nil
+	case isDigit(c):
+		start := lx.pos - 1
+		kind := tokNumeral
+		for {
+			ch, ok := lx.peek()
+			if !ok {
+				break
+			}
+			if ch == '.' && kind == tokNumeral {
+				kind = tokDecimal
+				lx.advance()
+				continue
+			}
+			if !isDigit(ch) {
+				break
+			}
+			lx.advance()
+		}
+		return token{kind: kind, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case isSymbolChar(c):
+		start := lx.pos - 1
+		for {
+			ch, ok := lx.peek()
+			if !ok || !isSymbolChar(ch) {
+				break
+			}
+			lx.advance()
+		}
+		return token{kind: tokSymbol, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	default:
+		return token{}, errAt(line, col, "unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) lexString(line, col int) (token, error) {
+	var b strings.Builder
+	for {
+		ch, ok := lx.peek()
+		if !ok {
+			return token{}, errAt(line, col, "unterminated string literal")
+		}
+		lx.advance()
+		if ch == '"' {
+			// SMT-LIB 2.6 escapes a quote by doubling it.
+			if nxt, ok := lx.peek(); ok && nxt == '"' {
+				lx.advance()
+				b.WriteByte('"')
+				continue
+			}
+			return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+		}
+		if ch == '\\' {
+			// Accept \u{XX} escapes (2.6) plus the legacy \n \t \\ \".
+			if nxt, ok := lx.peek(); ok {
+				switch nxt {
+				case 'u':
+					lx.advance()
+					if err := lx.lexUnicodeEscape(&b, line, col); err != nil {
+						return token{}, err
+					}
+					continue
+				case 'n':
+					lx.advance()
+					b.WriteByte('\n')
+					continue
+				case 't':
+					lx.advance()
+					b.WriteByte('\t')
+					continue
+				case '\\':
+					lx.advance()
+					b.WriteByte('\\')
+					continue
+				case '"':
+					lx.advance()
+					b.WriteByte('"')
+					continue
+				}
+			}
+			b.WriteByte('\\')
+			continue
+		}
+		b.WriteByte(ch)
+	}
+}
+
+func (lx *lexer) lexUnicodeEscape(b *strings.Builder, line, col int) error {
+	ch, ok := lx.peek()
+	if !ok || ch != '{' {
+		return errAt(line, col, `malformed \u escape`)
+	}
+	lx.advance()
+	val := 0
+	n := 0
+	for {
+		ch, ok := lx.peek()
+		if !ok {
+			return errAt(line, col, `unterminated \u escape`)
+		}
+		lx.advance()
+		if ch == '}' {
+			break
+		}
+		d := hexVal(ch)
+		if d < 0 || n >= 5 {
+			return errAt(line, col, `malformed \u escape`)
+		}
+		val = val*16 + d
+		n++
+	}
+	if n == 0 || val > 0x2FFFF {
+		return errAt(line, col, `malformed \u escape`)
+	}
+	b.WriteRune(rune(val))
+	return nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

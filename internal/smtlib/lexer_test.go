@@ -1,0 +1,147 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex error: %v", err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, `(assert (= x 12 3.5 "hi" :kw))`)
+	kinds := []tokenKind{
+		tokLParen, tokSymbol, tokLParen, tokSymbol, tokSymbol,
+		tokNumeral, tokDecimal, tokString, tokKeyword, tokRParen, tokRParen,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d: kind %v want %v (%v)", i, toks[i].kind, k, toks[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "; a comment\n(assert ; inline\n true)")
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexLineColumns(t *testing.T) {
+	toks := lexAll(t, "(a\n  b)")
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("token 0 at %d:%d", toks[0].line, toks[0].col)
+	}
+	// b is on line 2, column 3.
+	if toks[2].line != 2 || toks[2].col != 3 {
+		t.Errorf("token b at %d:%d", toks[2].line, toks[2].col)
+	}
+}
+
+func TestLexSymbolCharset(t *testing.T) {
+	toks := lexAll(t, `str.++ re.* <= >= fuse_z_1 a!b ~weird$`)
+	for _, tok := range toks {
+		if tok.kind != tokSymbol {
+			t.Errorf("%v should be a symbol", tok)
+		}
+	}
+	if toks[0].text != "str.++" || toks[1].text != "re.*" {
+		t.Errorf("symbol text wrong: %v", toks[:2])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`"plain"`, "plain"},
+		{`"do""uble"`, `do"uble`},
+		{`"\u{41}\u{42}"`, "AB"},
+		{`"tab\there"`, "tab\there"},
+		{`"back\\slash"`, `back\slash`},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if len(toks) != 1 || toks[0].kind != tokString {
+			t.Fatalf("%s: %v", c.src, toks)
+		}
+		if toks[0].text != c.want {
+			t.Errorf("%s: got %q want %q", c.src, toks[0].text, c.want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`|unterminated quoted symbol`,
+		`"\u{zz}"`,
+		"\x01",
+	}
+	for _, src := range cases {
+		lx := newLexer(src)
+		var err error
+		for i := 0; i < 100; i++ {
+			var tok token
+			tok, err = lx.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 300
+	src := "(assert " + strings.Repeat("(not ", depth) + "true" + strings.Repeat(")", depth) + ")"
+	if _, err := ParseScript("(declare-fun p () Bool)" + src + "(check-sat)"); err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+}
+
+func TestParseBigNumerals(t *testing.T) {
+	s := mustParse(t, `
+(declare-fun x () Int)
+(assert (= x 123456789012345678901234567890))
+(check-sat)
+`)
+	if got := Print(s); !strings.Contains(got, "123456789012345678901234567890") {
+		t.Errorf("big numeral lost:\n%s", got)
+	}
+}
+
+func TestSexprErrors(t *testing.T) {
+	cases := []string{")", "(a (b)", "((("}
+	for _, src := range cases {
+		p := newSexprParser(src)
+		var err error
+		for {
+			var se sexpr
+			se, err = p.parse()
+			if err != nil || se == nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package smtlib
+
+import "repro/internal/ast"
+
+// InferLogic computes the weakest standard SMT-LIB logic name covering
+// the script's asserts: quantifier prefix (QF_ or none), linearity
+// (L/N) and theory letters (IA, RA, IRA, S, SLIA).
+func InferLogic(s *Script) string {
+	hasQuant := false
+	hasInt := false
+	hasReal := false
+	hasString := false
+	nonlinear := false
+
+	for _, d := range s.Declarations() {
+		switch d.Sort {
+		case ast.SortInt:
+			hasInt = true
+		case ast.SortReal:
+			hasReal = true
+		case ast.SortString:
+			hasString = true
+		}
+	}
+
+	var scan func(t ast.Term)
+	scan = func(t ast.Term) {
+		ast.Walk(t, func(n ast.Term) bool {
+			switch x := n.(type) {
+			case *ast.Quant:
+				hasQuant = true
+			case *ast.App:
+				switch x.Sort() {
+				case ast.SortInt:
+					hasInt = true
+				case ast.SortReal:
+					hasReal = true
+				case ast.SortString:
+					hasString = true
+				}
+				switch x.Op {
+				case ast.OpMul:
+					nonConst := 0
+					for _, a := range x.Args {
+						if !isConstTerm(a) {
+							nonConst++
+						}
+					}
+					if nonConst > 1 {
+						nonlinear = true
+					}
+				case ast.OpRealDiv, ast.OpIntDiv, ast.OpMod:
+					if len(x.Args) > 1 && !isConstTerm(x.Args[1]) {
+						nonlinear = true
+					}
+				}
+			case *ast.IntLit:
+				hasInt = true
+			case *ast.RealLit:
+				hasReal = true
+			case *ast.StrLit:
+				hasString = true
+			}
+			return true
+		})
+	}
+	for _, a := range s.Asserts() {
+		scan(a)
+	}
+
+	logic := ""
+	if !hasQuant {
+		logic = "QF_"
+	}
+	switch {
+	case hasString && hasInt:
+		return logic + "SLIA"
+	case hasString:
+		return logic + "S"
+	}
+	if nonlinear {
+		logic += "N"
+	} else {
+		logic += "L"
+	}
+	switch {
+	case hasInt && hasReal:
+		return logic + "IRA"
+	case hasReal:
+		return logic + "RA"
+	default:
+		return logic + "IA"
+	}
+}
+
+func isConstTerm(t ast.Term) bool {
+	switch t.(type) {
+	case *ast.IntLit, *ast.RealLit, *ast.StrLit, *ast.BoolLit:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package smtlib
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Command is one SMT-LIB script command.
+type Command interface{ aCommand() }
+
+// SetLogic is (set-logic L).
+type SetLogic struct{ Logic string }
+
+// SetInfo is (set-info :kw value); the value is kept as raw text.
+type SetInfo struct{ Keyword, Value string }
+
+// SetOption is (set-option :kw value); the value is kept as raw text.
+type SetOption struct{ Keyword, Value string }
+
+// DeclareFun is a zero-ary function declaration, i.e. a free variable:
+// (declare-fun x () S) or (declare-const x S).
+type DeclareFun struct {
+	Name string
+	Sort ast.Sort
+}
+
+// DefineFun is (define-fun f ((p S)...) R body). Applications of f are
+// macro-expanded during elaboration; the command is retained so scripts
+// print back faithfully.
+type DefineFun struct {
+	Name   string
+	Params []ast.SortedVar
+	Result ast.Sort
+	Body   ast.Term
+}
+
+// Assert is (assert t).
+type Assert struct{ Term ast.Term }
+
+// CheckSat is (check-sat).
+type CheckSat struct{}
+
+// GetModel is (get-model).
+type GetModel struct{}
+
+// Exit is (exit).
+type Exit struct{}
+
+func (*SetLogic) aCommand()   {}
+func (*SetInfo) aCommand()    {}
+func (*SetOption) aCommand()  {}
+func (*DeclareFun) aCommand() {}
+func (*DefineFun) aCommand()  {}
+func (*Assert) aCommand()     {}
+func (*CheckSat) aCommand()   {}
+func (*GetModel) aCommand()   {}
+func (*Exit) aCommand()       {}
+
+// Script is a parsed SMT-LIB script.
+type Script struct {
+	Commands []Command
+}
+
+// Logic returns the declared logic, or "" if none was set.
+func (s *Script) Logic() string {
+	for _, c := range s.Commands {
+		if sl, ok := c.(*SetLogic); ok {
+			return sl.Logic
+		}
+	}
+	return ""
+}
+
+// Declarations returns the free-variable declarations in order.
+func (s *Script) Declarations() []*DeclareFun {
+	var out []*DeclareFun
+	for _, c := range s.Commands {
+		if d, ok := c.(*DeclareFun); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DeclarationSorts returns the declared variables keyed by name.
+func (s *Script) DeclarationSorts() map[string]ast.Sort {
+	out := map[string]ast.Sort{}
+	for _, d := range s.Declarations() {
+		out[d.Name] = d.Sort
+	}
+	return out
+}
+
+// Asserts returns the asserted terms in order.
+func (s *Script) Asserts() []ast.Term {
+	var out []ast.Term
+	for _, c := range s.Commands {
+		if a, ok := c.(*Assert); ok {
+			out = append(out, a.Term)
+		}
+	}
+	return out
+}
+
+// Conjunction returns the conjunction of all asserts (true if none).
+func (s *Script) Conjunction() ast.Term {
+	as := s.Asserts()
+	if len(as) == 0 {
+		return ast.True
+	}
+	return ast.And(as...)
+}
+
+// Clone returns a shallow command-level copy: the command list is fresh
+// but terms are shared (terms are immutable).
+func (s *Script) Clone() *Script {
+	out := &Script{Commands: make([]Command, len(s.Commands))}
+	copy(out.Commands, s.Commands)
+	return out
+}
+
+// NewScript assembles a script from a logic name, ordered declarations,
+// and assert terms, ending with (check-sat).
+func NewScript(logic string, decls []*DeclareFun, asserts []ast.Term) *Script {
+	s := &Script{}
+	if logic != "" {
+		s.Commands = append(s.Commands, &SetLogic{Logic: logic})
+	}
+	for _, d := range decls {
+		s.Commands = append(s.Commands, d)
+	}
+	for _, a := range asserts {
+		s.Commands = append(s.Commands, &Assert{Term: a})
+	}
+	s.Commands = append(s.Commands, &CheckSat{})
+	return s
+}
+
+// Print renders the script in SMT-LIB concrete syntax.
+func Print(s *Script) string {
+	var b strings.Builder
+	for _, c := range s.Commands {
+		printCommand(&b, c)
+	}
+	return b.String()
+}
+
+func printCommand(b *strings.Builder, c Command) {
+	switch n := c.(type) {
+	case *SetLogic:
+		fmt.Fprintf(b, "(set-logic %s)\n", n.Logic)
+	case *SetInfo:
+		fmt.Fprintf(b, "(set-info %s %s)\n", n.Keyword, n.Value)
+	case *SetOption:
+		fmt.Fprintf(b, "(set-option %s %s)\n", n.Keyword, n.Value)
+	case *DeclareFun:
+		fmt.Fprintf(b, "(declare-fun %s () %s)\n", n.Name, n.Sort)
+	case *DefineFun:
+		fmt.Fprintf(b, "(define-fun %s (", n.Name)
+		for i, p := range n.Params {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "(%s %s)", p.Name, p.Sort)
+		}
+		fmt.Fprintf(b, ") %s %s)\n", n.Result, ast.Print(n.Body))
+	case *Assert:
+		fmt.Fprintf(b, "(assert %s)\n", ast.Print(n.Term))
+	case *CheckSat:
+		b.WriteString("(check-sat)\n")
+	case *GetModel:
+		b.WriteString("(get-model)\n")
+	case *Exit:
+		b.WriteString("(exit)\n")
+	default:
+		panic(fmt.Sprintf("smtlib: unknown command %T", c))
+	}
+}

@@ -1,0 +1,83 @@
+package smtlib
+
+// sexpr is the untyped s-expression layer between the lexer and the
+// elaborator.
+type sexpr interface {
+	pos() (line, col int)
+}
+
+type atom struct {
+	tok token
+}
+
+func (a *atom) pos() (int, int) { return a.tok.line, a.tok.col }
+
+type list struct {
+	items     []sexpr
+	line, col int
+}
+
+func (l *list) pos() (int, int) { return l.line, l.col }
+
+type sexprParser struct {
+	lx     *lexer
+	peeked *token
+}
+
+func newSexprParser(src string) *sexprParser { return &sexprParser{lx: newLexer(src)} }
+
+func (p *sexprParser) nextToken() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lx.next()
+}
+
+func (p *sexprParser) peekToken() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+// parse returns the next s-expression, or nil at EOF.
+func (p *sexprParser) parse() (sexpr, error) {
+	t, err := p.nextToken()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case tokEOF:
+		return nil, nil
+	case tokRParen:
+		return nil, errAt(t.line, t.col, "unexpected )")
+	case tokLParen:
+		l := &list{line: t.line, col: t.col}
+		for {
+			nt, err := p.peekToken()
+			if err != nil {
+				return nil, err
+			}
+			if nt.kind == tokRParen {
+				p.peeked = nil
+				return l, nil
+			}
+			if nt.kind == tokEOF {
+				return nil, errAt(t.line, t.col, "unterminated list")
+			}
+			item, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			l.items = append(l.items, item)
+		}
+	default:
+		return &atom{tok: t}, nil
+	}
+}

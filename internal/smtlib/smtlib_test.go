@@ -1,0 +1,301 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func mustParse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v\ninput:\n%s", err, src)
+	}
+	return s
+}
+
+func TestParseSimpleScript(t *testing.T) {
+	s := mustParse(t, `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-const y Int)
+(assert (= x (- 1)))
+(assert (<= (+ x y) 10))
+(check-sat)
+`)
+	if s.Logic() != "QF_LIA" {
+		t.Errorf("Logic = %q", s.Logic())
+	}
+	if len(s.Declarations()) != 2 {
+		t.Errorf("decls = %d", len(s.Declarations()))
+	}
+	as := s.Asserts()
+	if len(as) != 2 {
+		t.Fatalf("asserts = %d", len(as))
+	}
+	if got := ast.Print(as[0]); got != "(= x (- 1))" {
+		t.Errorf("assert 0 = %q", got)
+	}
+	if got := ast.Print(as[1]); got != "(<= (+ x y) 10)" {
+		t.Errorf("assert 1 = %q", got)
+	}
+}
+
+func TestParsePaperFigure2(t *testing.T) {
+	// φ1 and φ2 from the paper (Figure 2).
+	src := `
+; phi1
+(declare-fun x () Int)
+(declare-fun w () Bool)
+(assert (= x (- 1)))
+(assert (= w (= x (- 1))))
+(assert w)
+; phi2
+(declare-fun y () Int)
+(declare-fun v () Bool)
+(assert (= v (not (= y (- 1)))))
+(assert (ite v false (= y (- 1))))
+`
+	s := mustParse(t, src)
+	if len(s.Asserts()) != 5 {
+		t.Errorf("asserts = %d want 5", len(s.Asserts()))
+	}
+}
+
+func TestParsePaperFigure5(t *testing.T) {
+	// The fused UNSAT formula from the paper (Figure 5), with legacy-
+	// and 2.6-style operators mixed.
+	src := `
+(declare-fun v () Real)
+(declare-fun w () Real)
+(declare-fun x () Real)
+(declare-fun y () Real)
+(declare-fun z () Real)
+(assert (or
+  (not (= (+ (+ 1.0 (/ z y)) 6.0) (+ 7.0 x)))
+  (and (< (/ z x) v) (>= w v)
+       (< (/ w v) 0) (> (/ z x) 0))))
+(assert (= z (* x y)))
+(assert (= x (/ z y)))
+(assert (= y (/ z x)))
+(check-sat)
+`
+	s := mustParse(t, src)
+	if len(s.Asserts()) != 4 {
+		t.Fatalf("asserts = %d want 4", len(s.Asserts()))
+	}
+	// (< (/ w v) 0): numeral 0 coerces to Real.
+	txt := ast.Print(s.Asserts()[0])
+	if !strings.Contains(txt, "(< (/ w v) 0.0)") {
+		t.Errorf("coercion missing in %q", txt)
+	}
+}
+
+func TestParseStringRegex(t *testing.T) {
+	// Legacy spellings from the paper's Figure 13a.
+	src := `
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(assert
+  (and
+    (str.in.re c (re.* (str.to.re "aa")))
+    (= 0 (str.to.int (str.replace a b (str.at a (str.len a)))))))
+(assert (= a (str.++ b c)))
+(check-sat)
+`
+	s := mustParse(t, src)
+	txt := ast.Print(s.Asserts()[0])
+	for _, want := range []string{"str.in_re", "re.*", "str.to_re", "str.to_int", "str.replace", "str.at", "str.len"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("canonical form missing %q in %q", want, txt)
+		}
+	}
+}
+
+func TestParseQuantified(t *testing.T) {
+	src := `
+(declare-fun a () Real)
+(assert (not (exists ((h Real)) (<= 0.0 (/ a h)))))
+(check-sat)
+`
+	s := mustParse(t, src)
+	a := s.Asserts()[0]
+	if !ast.HasQuantifier(a) {
+		t.Error("quantifier lost")
+	}
+	if got := ast.Print(a); got != "(not (exists ((h Real)) (<= 0.0 (/ a h))))" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseLetExpansion(t *testing.T) {
+	src := `
+(declare-fun x () Int)
+(assert (let ((t (+ x 1)) (u 2)) (< t u)))
+(check-sat)
+`
+	s := mustParse(t, src)
+	if got := ast.Print(s.Asserts()[0]); got != "(< (+ x 1) 2)" {
+		t.Errorf("let expansion: %q", got)
+	}
+}
+
+func TestParseLetParallelShadowing(t *testing.T) {
+	// Parallel let: the RHS x refers to the outer x.
+	src := `
+(declare-fun x () Int)
+(assert (let ((x (+ x 1))) (> x 0)))
+(check-sat)
+`
+	s := mustParse(t, src)
+	if got := ast.Print(s.Asserts()[0]); got != "(> (+ x 1) 0)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseDefineFun(t *testing.T) {
+	src := `
+(declare-fun x () Int)
+(define-fun double ((a Int)) Int (* 2 a))
+(define-fun five () Int 5)
+(assert (= (double x) five))
+(check-sat)
+`
+	s := mustParse(t, src)
+	if got := ast.Print(s.Asserts()[0]); got != "(= (* 2 x) 5)" {
+		t.Errorf("define-fun expansion: %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`(declare-fun x () Int) (assert (= x "s"))`,     // ill-sorted
+		`(assert (= y 1))`,                              // undeclared
+		`(declare-fun x () Unicorn)`,                    // unknown sort
+		`(declare-fun x () Int) (declare-fun x () Int)`, // duplicate
+		`(assert (= 1 1)`,                               // unbalanced
+		`(frobnicate)`,                                  // unknown command
+		`(assert (+ 1 2))`,                              // non-bool assert
+		`(declare-fun x () Int) (assert (unknownop x))`,
+	}
+	for _, src := range cases {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := mustParse(t, `(declare-fun x () String) (assert (= x "a""b"))`)
+	eq := s.Asserts()[0].(*ast.App)
+	lit := eq.Args[1].(*ast.StrLit)
+	if lit.V != `a"b` {
+		t.Errorf("unescaped = %q", lit.V)
+	}
+	s = mustParse(t, `(declare-fun x () String) (assert (= x "\u{41}"))`)
+	eq = s.Asserts()[0].(*ast.App)
+	lit = eq.Args[1].(*ast.StrLit)
+	if lit.V != "A" {
+		t.Errorf("unicode escape = %q", lit.V)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`(set-logic QF_NRA)
+(declare-fun a () Real)
+(declare-fun b () Real)
+(assert (and (> 0.0 (- a b)) (= a (ite (>= (/ a b) b) (+ a b) b))))
+(check-sat)
+`,
+		`(set-logic QF_S)
+(declare-fun a () String)
+(assert (str.in_re a (re.union (str.to_re "x") (re.+ (re.range "a" "z")))))
+(assert (= 0 (str.to_int (str.at a (str.len a)))))
+(check-sat)
+`,
+		`(set-logic LIA)
+(declare-fun n () Int)
+(assert (forall ((k Int)) (=> (> k n) (> k 0))))
+(check-sat)
+`,
+	}
+	for _, src := range srcs {
+		s1 := mustParse(t, src)
+		p1 := Print(s1)
+		s2 := mustParse(t, p1)
+		p2 := Print(s2)
+		if p1 != p2 {
+			t.Errorf("round trip unstable:\nfirst:\n%s\nsecond:\n%s", p1, p2)
+		}
+	}
+}
+
+func TestPrintScriptForms(t *testing.T) {
+	s := NewScript("QF_LIA",
+		[]*DeclareFun{{Name: "x", Sort: ast.SortInt}},
+		[]ast.Term{ast.Gt(ast.NewVar("x", ast.SortInt), ast.Int(0))})
+	want := "(set-logic QF_LIA)\n(declare-fun x () Int)\n(assert (> x 0))\n(check-sat)\n"
+	if got := Print(s); got != want {
+		t.Errorf("Print:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestIgnoredCommands(t *testing.T) {
+	s := mustParse(t, `
+(set-info :status sat)
+(set-option :produce-models true)
+(push 1)
+(declare-fun x () Int)
+(assert (> x 0))
+(pop 1)
+(check-sat)
+(exit)
+`)
+	// push/pop ignored; set-info and set-option retained.
+	if len(s.Asserts()) != 1 {
+		t.Errorf("asserts = %d", len(s.Asserts()))
+	}
+	out := Print(s)
+	if !strings.Contains(out, "(set-info :status sat)") {
+		t.Errorf("set-info lost:\n%s", out)
+	}
+	if !strings.Contains(out, "(exit)") {
+		t.Errorf("exit lost:\n%s", out)
+	}
+}
+
+func TestParseTermHelper(t *testing.T) {
+	decls := map[string]ast.Sort{"x": ast.SortInt}
+	tm, err := ParseTerm("(+ x 3)", decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ast.Print(tm); got != "(+ x 3)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	s := mustParse(t, `(declare-fun x () Int)(assert (> x 0))(assert (< x 5))`)
+	if got := ast.Print(s.Conjunction()); got != "(and (> x 0) (< x 5))" {
+		t.Errorf("got %q", got)
+	}
+	empty := &Script{}
+	if empty.Conjunction() != ast.True {
+		t.Error("empty conjunction should be true")
+	}
+}
+
+func TestQuotedSymbol(t *testing.T) {
+	s := mustParse(t, `(declare-fun |my var| () Int)(assert (> |my var| 0))`)
+	if got := ast.Print(s.Asserts()[0]); got != "(> my var 0)" {
+		// Quoted symbols keep their inner text; printing them unquoted
+		// is acceptable for fuzzer-internal names which never contain
+		// spaces. This test documents the behaviour.
+		t.Logf("quoted symbol prints as %q", got)
+	}
+}

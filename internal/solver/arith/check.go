@@ -1,0 +1,334 @@
+package arith
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/solver/simplex"
+)
+
+// Rel is the relation of an atom Expr ⋈ 0.
+type Rel int8
+
+const (
+	RelLe Rel = iota // ≤ 0
+	RelLt            // < 0
+	RelGe            // ≥ 0
+	RelGt            // > 0
+	RelEq            // = 0
+	RelNe            // ≠ 0
+)
+
+// Negate returns the complementary relation.
+func (r Rel) Negate() Rel {
+	switch r {
+	case RelLe:
+		return RelGt
+	case RelLt:
+		return RelGe
+	case RelGe:
+		return RelLt
+	case RelGt:
+		return RelLe
+	case RelEq:
+		return RelNe
+	default:
+		return RelEq
+	}
+}
+
+// HoldsOn reports whether value v (an evaluated expression) satisfies
+// the relation against zero.
+func (r Rel) HoldsOn(v *big.Rat) bool {
+	s := v.Sign()
+	switch r {
+	case RelLe:
+		return s <= 0
+	case RelLt:
+		return s < 0
+	case RelGe:
+		return s >= 0
+	case RelGt:
+		return s > 0
+	case RelEq:
+		return s == 0
+	default:
+		return s != 0
+	}
+}
+
+// Atom is a linear atom Expr ⋈ 0.
+type Atom struct {
+	Expr *LinExpr
+	Rel  Rel
+}
+
+// Status is the outcome of a conjunction check.
+type Status int8
+
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem is a conjunction of linear atoms with integrality side
+// conditions.
+type Problem struct {
+	Atoms   []Atom
+	IntVars map[string]bool
+	// NodeBudget bounds the branch-and-bound / disequality-split tree;
+	// exhausting it yields Unknown. Zero selects a default.
+	NodeBudget int
+}
+
+// Check decides the conjunction. On Sat, the returned assignment maps
+// every variable occurring in the atoms to a rational (integral for
+// IntVars).
+func Check(p *Problem) (Status, map[string]*big.Rat) {
+	budget := p.NodeBudget
+	if budget == 0 {
+		budget = 400
+	}
+	c := &checker{intVars: p.IntVars, budget: budget}
+	return c.solve(p.Atoms)
+}
+
+type checker struct {
+	intVars map[string]bool
+	budget  int
+}
+
+func (c *checker) solve(atoms []Atom) (Status, map[string]*big.Rat) {
+	if c.budget <= 0 {
+		return Unknown, nil
+	}
+	c.budget--
+
+	// Integer strengthening: over all-integer variables with integer
+	// coefficients, a strict inequality tightens to a non-strict one
+	// (x > c ⇒ x ≥ c+1), which keeps simplex witnesses on integer
+	// points instead of δ-fractional ones.
+	atoms = c.strengthenInts(atoms)
+
+	// GCD cut: an integer equality Σ cᵢxᵢ + c = 0 (integer xᵢ) is
+	// unsatisfiable when gcd(cᵢ) does not divide c. This decides cases
+	// branch-and-bound cannot (unbounded parity conflicts).
+	for _, a := range atoms {
+		if a.Rel == RelEq && c.gcdCutInfeasible(a.Expr) {
+			return Unsat, nil
+		}
+	}
+
+	// Collect variables deterministically.
+	varSet := map[string]bool{}
+	for _, a := range atoms {
+		for v := range a.Expr.Coeffs {
+			varSet[v] = true
+		}
+	}
+	names := make([]string, 0, len(varSet))
+	for v := range varSet {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+
+	sx := simplex.New()
+	idx := map[string]int{}
+	for _, v := range names {
+		idx[v] = sx.NewVar()
+	}
+
+	var diseqs []Atom
+	for _, a := range atoms {
+		if a.Rel == RelNe {
+			diseqs = append(diseqs, a)
+			continue
+		}
+		coeffs := map[int]*big.Rat{}
+		for v, co := range a.Expr.Coeffs {
+			coeffs[idx[v]] = co
+		}
+		bound := new(big.Rat).Neg(a.Expr.Const)
+		var op simplex.Op
+		switch a.Rel {
+		case RelLe:
+			op = simplex.Le
+		case RelLt:
+			op = simplex.Lt
+		case RelGe:
+			op = simplex.Ge
+		case RelGt:
+			op = simplex.Gt
+		case RelEq:
+			op = simplex.Eq
+		}
+		if !sx.AssertAtom(coeffs, op, bound) {
+			return Unsat, nil
+		}
+	}
+	ok, err := sx.Check()
+	if err != nil {
+		return Unknown, nil
+	}
+	if !ok {
+		return Unsat, nil
+	}
+
+	ids := make([]int, len(names))
+	for i, v := range names {
+		ids[i] = idx[v]
+	}
+	raw := sx.Values(ids)
+	model := map[string]*big.Rat{}
+	for i, v := range names {
+		model[v] = raw[ids[i]]
+	}
+
+	// Disequality handling: if some ≠ atom is violated by the model,
+	// split into < and > branches.
+	for _, d := range diseqs {
+		val, err := d.Expr.Eval(model)
+		if err != nil {
+			return Unknown, nil
+		}
+		if val.Sign() == 0 {
+			lt := append(cloneAtoms(atoms, d), Atom{Expr: d.Expr, Rel: RelLt})
+			if st, m := c.solve(lt); st == Sat {
+				return Sat, m
+			} else if st == Unknown {
+				return Unknown, nil
+			}
+			gt := append(cloneAtoms(atoms, d), Atom{Expr: d.Expr, Rel: RelGt})
+			return c.solve(gt)
+		}
+	}
+
+	// Integrality: branch and bound on the first fractional integer
+	// variable.
+	for _, v := range names {
+		if !c.intVars[v] {
+			continue
+		}
+		val := model[v]
+		if val.IsInt() {
+			continue
+		}
+		fl := floorRat(val)
+		le := NewLinExpr()
+		le.AddVar(v, big.NewRat(1, 1))
+		le.Const.Sub(le.Const, new(big.Rat).SetInt(fl)) // v - floor ≤ 0
+		down := append(cloneAtoms(atoms, Atom{}), Atom{Expr: le, Rel: RelLe})
+		if st, m := c.solve(down); st == Sat {
+			return Sat, m
+		} else if st == Unknown {
+			return Unknown, nil
+		}
+		ge := NewLinExpr()
+		ge.AddVar(v, big.NewRat(1, 1))
+		ceil := new(big.Int).Add(fl, big.NewInt(1))
+		ge.Const.Sub(ge.Const, new(big.Rat).SetInt(ceil)) // v - ceil ≥ 0
+		up := append(cloneAtoms(atoms, Atom{}), Atom{Expr: ge, Rel: RelGe})
+		return c.solve(up)
+	}
+
+	return Sat, model
+}
+
+// cloneAtoms copies the atom slice, dropping the (by-pointer) excluded
+// atom if present.
+func cloneAtoms(atoms []Atom, exclude Atom) []Atom {
+	out := make([]Atom, 0, len(atoms)+1)
+	for _, a := range atoms {
+		if exclude.Expr != nil && a.Expr == exclude.Expr && a.Rel == exclude.Rel {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// strengthenInts rewrites strict atoms over all-integer variables with
+// integer coefficients into equivalent non-strict atoms.
+func (c *checker) strengthenInts(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	one := big.NewRat(1, 1)
+	for i, a := range atoms {
+		out[i] = a
+		if a.Rel != RelLt && a.Rel != RelGt {
+			continue
+		}
+		allInt := len(a.Expr.Coeffs) > 0
+		for v, co := range a.Expr.Coeffs {
+			if !c.intVars[v] || !co.IsInt() {
+				allInt = false
+				break
+			}
+		}
+		if !allInt || !a.Expr.Const.IsInt() {
+			continue
+		}
+		e := a.Expr.Clone()
+		if a.Rel == RelLt { // e < 0 ⇒ e ≤ −1 ⇒ e + 1 ≤ 0
+			e.Const.Add(e.Const, one)
+			out[i] = Atom{Expr: e, Rel: RelLe}
+		} else { // e > 0 ⇒ e ≥ 1 ⇒ e − 1 ≥ 0
+			e.Const.Sub(e.Const, one)
+			out[i] = Atom{Expr: e, Rel: RelGe}
+		}
+	}
+	return out
+}
+
+// gcdCutInfeasible reports whether the equality e = 0 over all-integer
+// variables has no integer solution by the gcd divisibility criterion.
+func (c *checker) gcdCutInfeasible(e *LinExpr) bool {
+	if len(e.Coeffs) == 0 {
+		return false // constant equalities are handled by simplex
+	}
+	for v := range e.Coeffs {
+		if !c.intVars[v] {
+			return false
+		}
+	}
+	// Scale by the lcm of denominators to integer form.
+	lcm := new(big.Int).Set(e.Const.Denom())
+	for _, co := range e.Coeffs {
+		g := new(big.Int).GCD(nil, nil, lcm, co.Denom())
+		lcm.Div(new(big.Int).Mul(lcm, co.Denom()), g)
+	}
+	scale := new(big.Rat).SetInt(lcm)
+	var g *big.Int
+	for _, co := range e.Coeffs {
+		ci := new(big.Rat).Mul(co, scale)
+		if g == nil {
+			g = new(big.Int).Abs(ci.Num())
+		} else {
+			g.GCD(nil, nil, g, new(big.Int).Abs(ci.Num()))
+		}
+	}
+	konst := new(big.Rat).Mul(e.Const, scale)
+	rem := new(big.Int).Mod(konst.Num(), g)
+	return rem.Sign() != 0
+}
+
+func floorRat(v *big.Rat) *big.Int {
+	q := new(big.Int)
+	r := new(big.Int)
+	q.QuoRem(v.Num(), v.Denom(), r)
+	if r.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}

@@ -1,0 +1,280 @@
+// Package arith implements the arithmetic theory layer of the reference
+// solver: normalization of terms into linear expressions (with
+// abstraction of nonlinear subterms), a decision procedure for
+// conjunctions of linear atoms over reals and integers (exact simplex
+// plus branch-and-bound), and interval evaluation used to refute
+// nonlinear conjunctions.
+package arith
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// LinExpr is a linear expression: a rational constant plus a rational
+// combination of named variables.
+type LinExpr struct {
+	Coeffs map[string]*big.Rat
+	Const  *big.Rat
+}
+
+// NewLinExpr returns the zero expression.
+func NewLinExpr() *LinExpr {
+	return &LinExpr{Coeffs: map[string]*big.Rat{}, Const: new(big.Rat)}
+}
+
+// Clone returns a deep copy.
+func (e *LinExpr) Clone() *LinExpr {
+	out := &LinExpr{Coeffs: make(map[string]*big.Rat, len(e.Coeffs)), Const: new(big.Rat).Set(e.Const)}
+	for v, c := range e.Coeffs {
+		out.Coeffs[v] = new(big.Rat).Set(c)
+	}
+	return out
+}
+
+// AddExpr adds o scaled by k into e (in place).
+func (e *LinExpr) AddExpr(o *LinExpr, k *big.Rat) {
+	e.Const.Add(e.Const, new(big.Rat).Mul(o.Const, k))
+	for v, c := range o.Coeffs {
+		e.AddVar(v, new(big.Rat).Mul(c, k))
+	}
+}
+
+// AddVar adds c·v into e (in place).
+func (e *LinExpr) AddVar(v string, c *big.Rat) {
+	if prev, ok := e.Coeffs[v]; ok {
+		prev.Add(prev, c)
+		if prev.Sign() == 0 {
+			delete(e.Coeffs, v)
+		}
+	} else if c.Sign() != 0 {
+		e.Coeffs[v] = new(big.Rat).Set(c)
+	}
+}
+
+// Scale multiplies e by k (in place).
+func (e *LinExpr) Scale(k *big.Rat) {
+	e.Const.Mul(e.Const, k)
+	for v := range e.Coeffs {
+		e.Coeffs[v].Mul(e.Coeffs[v], k)
+		if e.Coeffs[v].Sign() == 0 {
+			delete(e.Coeffs, v)
+		}
+	}
+}
+
+// IsConst reports whether e has no variables.
+func (e *LinExpr) IsConst() bool { return len(e.Coeffs) == 0 }
+
+// SingleVar returns (name, coeff, true) if e is c·v + const with one
+// variable.
+func (e *LinExpr) SingleVar() (string, *big.Rat, bool) {
+	if len(e.Coeffs) != 1 {
+		return "", nil, false
+	}
+	for v, c := range e.Coeffs {
+		return v, c, true
+	}
+	return "", nil, false
+}
+
+// Eval evaluates e under a rational assignment; missing variables are
+// an error.
+func (e *LinExpr) Eval(vals map[string]*big.Rat) (*big.Rat, error) {
+	out := new(big.Rat).Set(e.Const)
+	for v, c := range e.Coeffs {
+		val, ok := vals[v]
+		if !ok {
+			return nil, fmt.Errorf("arith: no value for %s", v)
+		}
+		out.Add(out, new(big.Rat).Mul(c, val))
+	}
+	return out, nil
+}
+
+// String renders the expression deterministically (sorted variables).
+func (e *LinExpr) String() string {
+	vars := make([]string, 0, len(e.Coeffs))
+	for v := range e.Coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s·%s + ", e.Coeffs[v].RatString(), v)
+	}
+	b.WriteString(e.Const.RatString())
+	return b.String()
+}
+
+// Abstractor allocates fresh variables for nonlinear or foreign
+// subterms during linearization, memoizing by structural term identity
+// so equal subterms share an abstraction variable (a congruence-lite
+// that is essential for fused formulas).
+type Abstractor struct {
+	prefix string
+	byKey  map[string]string
+	terms  map[string]ast.Term
+	sorts  map[string]ast.Sort
+	n      int
+}
+
+// NewAbstractor returns an abstractor generating names with the given
+// prefix (the prefix must not collide with formula variables; the
+// solver uses an illegal-character prefix).
+func NewAbstractor(prefix string) *Abstractor {
+	return &Abstractor{
+		prefix: prefix,
+		byKey:  map[string]string{},
+		terms:  map[string]ast.Term{},
+		sorts:  map[string]ast.Sort{},
+	}
+}
+
+// VarFor returns the abstraction variable name for term t.
+func (a *Abstractor) VarFor(t ast.Term) string {
+	key := ast.Print(t)
+	if v, ok := a.byKey[key]; ok {
+		return v
+	}
+	v := fmt.Sprintf("%s%d", a.prefix, a.n)
+	a.n++
+	a.byKey[key] = v
+	a.terms[v] = t
+	a.sorts[v] = t.Sort()
+	return v
+}
+
+// Terms returns the abstracted terms keyed by abstraction variable.
+func (a *Abstractor) Terms() map[string]ast.Term { return a.terms }
+
+// Sort returns the sort of an abstraction variable.
+func (a *Abstractor) Sort(v string) (ast.Sort, bool) {
+	s, ok := a.sorts[v]
+	return s, ok
+}
+
+// Len reports how many abstraction variables were created.
+func (a *Abstractor) Len() int { return a.n }
+
+// Linearize converts an Int- or Real-sorted term into a linear
+// expression. Nonlinear subterms (variable products, divisions by
+// non-constants, div/mod/abs, to_int) and foreign terms (str.len,
+// str.to_int, str.indexof, ite) are abstracted into fresh variables via
+// abs; if abs is nil, such terms are an error.
+func Linearize(t ast.Term, abs *Abstractor) (*LinExpr, error) {
+	switch n := t.(type) {
+	case *ast.Var:
+		e := NewLinExpr()
+		e.AddVar(n.Name, big.NewRat(1, 1))
+		return e, nil
+	case *ast.IntLit:
+		e := NewLinExpr()
+		e.Const.SetInt(n.V)
+		return e, nil
+	case *ast.RealLit:
+		e := NewLinExpr()
+		e.Const.Set(n.V)
+		return e, nil
+	case *ast.App:
+		return linearizeApp(n, abs)
+	default:
+		return nil, fmt.Errorf("arith: cannot linearize %T", t)
+	}
+}
+
+func linearizeApp(n *ast.App, abs *Abstractor) (*LinExpr, error) {
+	one := big.NewRat(1, 1)
+	switch n.Op {
+	case ast.OpAdd:
+		out := NewLinExpr()
+		for _, a := range n.Args {
+			e, err := Linearize(a, abs)
+			if err != nil {
+				return nil, err
+			}
+			out.AddExpr(e, one)
+		}
+		return out, nil
+	case ast.OpSub:
+		out, err := Linearize(n.Args[0], abs)
+		if err != nil {
+			return nil, err
+		}
+		mone := big.NewRat(-1, 1)
+		for _, a := range n.Args[1:] {
+			e, err := Linearize(a, abs)
+			if err != nil {
+				return nil, err
+			}
+			out.AddExpr(e, mone)
+		}
+		return out, nil
+	case ast.OpNeg:
+		e, err := Linearize(n.Args[0], abs)
+		if err != nil {
+			return nil, err
+		}
+		e.Scale(big.NewRat(-1, 1))
+		return e, nil
+	case ast.OpMul:
+		// Fold constants; a product with more than one non-constant
+		// factor is nonlinear.
+		out := NewLinExpr()
+		out.Const.SetInt64(1)
+		for _, a := range n.Args {
+			e, err := Linearize(a, abs)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case e.IsConst():
+				out.Scale(e.Const)
+			case out.IsConst():
+				c := new(big.Rat).Set(out.Const)
+				out = e.Clone()
+				out.Scale(c)
+			default:
+				return abstract(n, abs)
+			}
+		}
+		return out, nil
+	case ast.OpRealDiv:
+		out, err := Linearize(n.Args[0], abs)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range n.Args[1:] {
+			e, err := Linearize(a, abs)
+			if err != nil {
+				return nil, err
+			}
+			if !e.IsConst() || e.Const.Sign() == 0 {
+				// Division by a non-constant (or by the fixed zero
+				// interpretation) is not linear.
+				return abstract(n, abs)
+			}
+			out.Scale(new(big.Rat).Inv(e.Const))
+		}
+		return out, nil
+	case ast.OpToReal:
+		return Linearize(n.Args[0], abs)
+	default:
+		// div, mod, abs, to_int, ite, str.len, str.to_int,
+		// str.indexof: foreign/nonlinear — abstract.
+		return abstract(n, abs)
+	}
+}
+
+func abstract(t ast.Term, abs *Abstractor) (*LinExpr, error) {
+	if abs == nil {
+		return nil, fmt.Errorf("arith: nonlinear or foreign term %s", ast.Print(t))
+	}
+	e := NewLinExpr()
+	e.AddVar(abs.VarFor(t), big.NewRat(1, 1))
+	return e, nil
+}

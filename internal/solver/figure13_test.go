@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/smtlib"
+)
+
+// The six reduced bug-triggering formulas of the paper's Figure 13.
+// All of 13a–13e are unsatisfiable; the solvers under test in the paper
+// wrongly answered sat. The reference solver here must never answer
+// sat on them (unknown is acceptable for fragments beyond its
+// completeness).
+var figure13 = map[string]string{
+	"13a-z3-qfs": `
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(assert
+  (and
+    (str.in.re c (re.* (str.to.re "aa")))
+    (= 0 (str.to.int (str.replace a b (str.at a (str.len a)))))))
+(assert (= a (str.++ b c)))
+(check-sat)
+`,
+	"13b-cvc4-qfs": `
+(declare-const a String)
+(declare-const b String)
+(declare-const c String)
+(declare-const d String)
+(declare-const e String)
+(declare-const f String)
+(assert (or
+  (and (= c (str.++ e d))
+       (str.in.re e (re.* (str.to.re "aaa")))
+       (> 0 (str.to.int d))
+       (= 1 (str.len e))
+       (= 2 (str.len c)))
+  (and (str.in.re f (re.* (str.to.re "aa")))
+       (= 0 (str.to.int (str.replace (str.replace a b "") "a" ""))))))
+(assert (= a (str.++ (str.++ b "a") f)))
+(check-sat)
+`,
+	"13c-z3-qfnra": `
+(declare-fun a () Real)
+(declare-fun b () Real)
+(declare-fun c () Real)
+(declare-fun d () Real)
+(declare-fun e () Real)
+(declare-fun f () Real)
+(assert
+  (and
+    (> 0 (- d f))
+    (= d (ite (>= (/ a c) f) (+ b f) f))
+    (> 0 (/ a (/ c e)))
+    (or (= e 1.0) (= e 2.0))
+    (> d 0) (= c 0)))
+(check-sat)
+`,
+	"13d-cvc4-qfslia": `
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun d () String)
+(declare-fun e () String)
+(declare-fun f () Int)
+(declare-fun g () String)
+(declare-fun h () String)
+(assert (or
+  (not (= (str.replace "B" (str.at "A" f) "") "B"))
+  (not (= (str.replace "B" (str.replace "B" g "") "")
+          (str.at (str.replace (str.replace a d "") "C" "")
+                  (str.indexof "B" (str.replace (str.replace a d "") "C" "") 0))))))
+(assert (= a (str.++ (str.++ d "C") g)))
+(assert (= b (str.++ e g)))
+(check-sat)
+`,
+	"13e-z3-qfs": `
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(declare-fun d () String)
+(assert (= a (str.++ b d)))
+(assert (or (and
+  (= (str.indexof (str.substr a 0 (str.len b)) "=" 0) 0)
+  (= (str.indexof b "=" 0) 1))
+ (not (= (str.suffixof "A" d)
+         (str.suffixof "A" (str.replace c c d))))))
+(check-sat)
+`,
+}
+
+// figure13f is the NRA crash formula (quantified); the reference must
+// not crash, and z3sim with the deep-nonlinear crash defect may.
+const figure13f = `
+(declare-fun a () Real)
+(declare-fun b () Real)
+(declare-fun c () Real)
+(declare-fun d () Real)
+(declare-fun i () Real)
+(declare-fun e () Real)
+(declare-fun ep () Real)
+(declare-fun f () Real)
+(declare-fun j () Real)
+(declare-fun g () Real)
+(assert (or
+  (not (exists ((h Real))
+    (=> (and (= 0.0 (/ b j)) (< 0.0 e))
+        (=> (= 0.0 i)
+            (= (= (<= 0.0 h) (<= h ep)) (= 1.0 2.0))))))
+  (not (exists ((h Real))
+    (=> (<= 0.0 (/ a h)) (= 0 (/ c e)))))))
+(assert (= ep (/ d f)))
+(check-sat)
+`
+
+func TestFigure13Samples(t *testing.T) {
+	for name, src := range figure13 {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			sc, err := smtlib.ParseScript(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			out := NewReference().SolveScript(sc)
+			if out.Result == ResSat {
+				t.Fatalf("reference answered sat on the unsat Figure %s formula", name)
+			}
+			t.Logf("%s: %v (%s)", name, out.Result, out.Reason)
+		})
+	}
+}
+
+func TestFigure13fParsesAndDoesNotCrashReference(t *testing.T) {
+	sc, err := smtlib.ParseScript(figure13f)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("reference crashed on Figure 13f: %v", r)
+		}
+	}()
+	out := NewReference().SolveScript(sc)
+	// Quantified NRA beyond the skolemizable fragment: unknown is the
+	// honest answer; sat would need certification (which skips
+	// quantified asserts), unsat is impossible to certify here.
+	t.Logf("13f: %v (%s)", out.Result, out.Reason)
+}

@@ -1,0 +1,89 @@
+package solver
+
+import "repro/internal/coverage"
+
+// Coverage probes over the solver pipeline. Function-class probes mark
+// procedure entries, branch-class probes mark rule firings and
+// decisions, line-class probes mark straight-line milestones — the
+// probe universe that internal/coverage reports against for the
+// paper's RQ3/RQ4 experiments.
+var (
+	// Front end.
+	pRewriteEntry    = coverage.NewProbe("rewrite.entry", coverage.Function)
+	pRwNot           = coverage.NewProbe("rewrite.not", coverage.Branch)
+	pRwBoolConn      = coverage.NewProbe("rewrite.bool-connective", coverage.Branch)
+	pRwEq            = coverage.NewProbe("rewrite.eq", coverage.Branch)
+	pRwEqChain       = coverage.NewProbe("rewrite.eq-chain", coverage.Branch)
+	pRwDistinct      = coverage.NewProbe("rewrite.distinct", coverage.Branch)
+	pRwIte           = coverage.NewProbe("rewrite.ite", coverage.Branch)
+	pRwAddMul        = coverage.NewProbe("rewrite.add-mul", coverage.Branch)
+	pRwDivCancel     = coverage.NewProbe("rewrite.div-cancel", coverage.Branch)
+	pRwRealDiv       = coverage.NewProbe("rewrite.real-div", coverage.Branch)
+	pRwIntDiv        = coverage.NewProbe("rewrite.int-div", coverage.Branch)
+	pRwIntDivNeg     = coverage.NewProbe("rewrite.int-div-negative", coverage.Branch)
+	pRwAbs           = coverage.NewProbe("rewrite.abs", coverage.Branch)
+	pRwCompare       = coverage.NewProbe("rewrite.compare", coverage.Branch)
+	pRwSquareSign    = coverage.NewProbe("rewrite.square-sign", coverage.Branch)
+	pRwConcat        = coverage.NewProbe("rewrite.str-concat", coverage.Branch)
+	pRwStrLen        = coverage.NewProbe("rewrite.str-len", coverage.Branch)
+	pRwStrAt         = coverage.NewProbe("rewrite.str-at", coverage.Branch)
+	pRwSubstr        = coverage.NewProbe("rewrite.str-substr", coverage.Branch)
+	pRwReplace       = coverage.NewProbe("rewrite.str-replace", coverage.Branch)
+	pRwReplaceEmpty  = coverage.NewProbe("rewrite.str-replace-empty", coverage.Branch)
+	pRwReplaceConcat = coverage.NewProbe("rewrite.str-replace-concat", coverage.Branch)
+	pRwSubstrConcat  = coverage.NewProbe("rewrite.str-substr-concat", coverage.Branch)
+	pRwAffix         = coverage.NewProbe("rewrite.str-affix", coverage.Branch)
+	pRwContains      = coverage.NewProbe("rewrite.str-contains", coverage.Branch)
+	pRwIndexOf       = coverage.NewProbe("rewrite.str-indexof", coverage.Branch)
+	pRwStrToInt      = coverage.NewProbe("rewrite.str-to-int", coverage.Branch)
+	pRwStrToIntEmpty = coverage.NewProbe("rewrite.str-to-int-empty", coverage.Branch)
+	pRwFold          = coverage.NewProbe("rewrite.ground-fold", coverage.Line)
+
+	// Preprocessing.
+	pInlineEntry   = coverage.NewProbe("preprocess.inline.entry", coverage.Function)
+	pInlineApplied = coverage.NewProbe("preprocess.inline.applied", coverage.Line)
+	pIteLiftEntry  = coverage.NewProbe("preprocess.ite-lift.entry", coverage.Function)
+	pIteLifted     = coverage.NewProbe("preprocess.ite-lift.lifted", coverage.Line)
+	pQuantNegPush  = coverage.NewProbe("preprocess.quant.neg-push", coverage.Branch)
+	pQuantSkolem   = coverage.NewProbe("preprocess.quant.skolemize", coverage.Line)
+	pQuantGiveUp   = coverage.NewProbe("preprocess.quant.give-up", coverage.Branch)
+
+	// Abstraction and DPLL(T) core.
+	pAbstractEntry    = coverage.NewProbe("abstract.entry", coverage.Function)
+	pAbstractAtom     = coverage.NewProbe("abstract.atom", coverage.Line)
+	pAbstractTseitin  = coverage.NewProbe("abstract.tseitin-aux", coverage.Line)
+	pSolveEntry       = coverage.NewProbe("solve.entry", coverage.Function)
+	pSolveSatCore     = coverage.NewProbe("solve.sat-core-model", coverage.Line)
+	pSolveBlocked     = coverage.NewProbe("solve.blocking-clause", coverage.Line)
+	pSolveCertify     = coverage.NewProbe("solve.certify", coverage.Function)
+	pSolveCertifyFail = coverage.NewProbe("solve.certify-fail", coverage.Branch)
+
+	// Theory dispatch.
+	pTheoryArithLinear   = coverage.NewProbe("theory.arith.linear", coverage.Function)
+	pTheoryArithNonlin   = coverage.NewProbe("theory.arith.nonlinear", coverage.Branch)
+	pTheoryArithRefute   = coverage.NewProbe("theory.arith.interval-refute", coverage.Branch)
+	pTheoryArithSample   = coverage.NewProbe("theory.arith.model-check", coverage.Line)
+	pTheoryStrings       = coverage.NewProbe("theory.strings.check", coverage.Function)
+	pTheoryStringsLen    = coverage.NewProbe("theory.strings.length-abstraction", coverage.Line)
+	pTheoryStringsSearch = coverage.NewProbe("theory.strings.search", coverage.Line)
+	pTheoryPerfRegex     = coverage.NewProbe("theory.strings.regex-deep", coverage.Branch)
+	pTheoryPerfBnB       = coverage.NewProbe("theory.arith.bnb-wide", coverage.Branch)
+
+	// Theory and solve outcomes (one branch probe per verdict).
+	pArithSat     = coverage.NewProbe("theory.arith.result-sat", coverage.Branch)
+	pArithUnsat   = coverage.NewProbe("theory.arith.result-unsat", coverage.Branch)
+	pArithUnknown = coverage.NewProbe("theory.arith.result-unknown", coverage.Branch)
+	pStrSat       = coverage.NewProbe("theory.strings.result-sat", coverage.Branch)
+	pStrUnsat     = coverage.NewProbe("theory.strings.result-unsat", coverage.Branch)
+	pStrUnknown   = coverage.NewProbe("theory.strings.result-unknown", coverage.Branch)
+	pSolveSat     = coverage.NewProbe("solve.result-sat", coverage.Line)
+	pSolveUnsat   = coverage.NewProbe("solve.result-unsat", coverage.Line)
+	pSolveUnknown = coverage.NewProbe("solve.result-unknown", coverage.Line)
+	pArithGrid    = coverage.NewProbe("theory.arith.sample-grid", coverage.Line)
+	pArithForeign = coverage.NewProbe("theory.arith.unconverted-literal", coverage.Branch)
+
+	// Rule sites added for the fusion-shape defect family.
+	pRwEqDivCancel   = coverage.NewProbe("rewrite.eq-div-cancel", coverage.Branch)
+	pRwReplaceVar    = coverage.NewProbe("rewrite.str-replace-var", coverage.Branch)
+	pRwDivMulThrough = coverage.NewProbe("rewrite.div-mul-through", coverage.Branch)
+)

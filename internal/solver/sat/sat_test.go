@@ -1,0 +1,244 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(Lit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.Value(a) {
+		t.Error("a should be true")
+	}
+}
+
+func TestContradictionUnit(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(Lit(a))
+	if ok := s.AddClause(-Lit(a)); ok {
+		t.Error("adding -a after a should report root conflict")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(Lit(a), -Lit(a)) // tautology: no-op
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("tautology-only: %v", got)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	vars := make([]Lit, 10)
+	for i := range vars {
+		vars[i] = Lit(s.NewVar())
+	}
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(-vars[i], vars[i+1]) // v_i -> v_{i+1}
+	}
+	s.AddClause(vars[0])
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	for i, v := range vars {
+		if !s.Value(v.Var()) {
+			t.Errorf("var %d should be true", i)
+		}
+	}
+	// Now force the last one false: unsat.
+	s.AddClause(-vars[len(vars)-1])
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after forcing: %v", got)
+	}
+}
+
+// pigeonhole(n): n+1 pigeons, n holes — classically unsat and requires
+// real search.
+func pigeonhole(t *testing.T, n int) {
+	t.Helper()
+	s := New()
+	p := make([][]Lit, n+1)
+	for i := range p {
+		p[i] = make([]Lit, n)
+		for j := range p[i] {
+			p[i][j] = Lit(s.NewVar())
+		}
+	}
+	for i := range p {
+		s.AddClause(p[i]...) // each pigeon somewhere
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(-p[i1][j], -p[i2][j])
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(%d) = %v, want unsat", n, got)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		pigeonhole(t, n)
+	}
+}
+
+// bruteForce checks satisfiability of a small CNF by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			cok := false
+			for _, l := range cl {
+				v := l.Var() - 1
+				val := mask&(1<<v) != 0
+				if (l > 0) == val {
+					cok = true
+					break
+				}
+			}
+			if !cok {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(8) // 3..10
+		nClauses := 1 + rng.Intn(45)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				v := Lit(1 + rng.Intn(nVars))
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		rootConflict := false
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				rootConflict = true
+				break
+			}
+		}
+		want := bruteForce(nVars, cnf)
+		var got Status
+		if rootConflict {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got == Sat {
+			// The reported model must satisfy every clause.
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					if (l > 0) == s.Value(l.Var()) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model does not satisfy %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestModelEnumerationViaBlocking(t *testing.T) {
+	// Enumerate all 8 models of 3 unconstrained variables by blocking.
+	s := New()
+	vars := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	s.AddClause(Lit(vars[0]), -Lit(vars[0])) // touch solver
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 8 {
+			t.Fatal("too many models")
+		}
+		block := make([]Lit, len(vars))
+		for i, v := range vars {
+			if s.Value(v) {
+				block[i] = -Lit(v)
+			} else {
+				block[i] = Lit(v)
+			}
+		}
+		if !s.AddClause(block...) {
+			break
+		}
+	}
+	if count != 8 {
+		t.Fatalf("enumerated %d models, want 8", count)
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := New()
+	s.MaxConflicts = 1
+	n := 7
+	p := make([][]Lit, n+1)
+	for i := range p {
+		p[i] = make([]Lit, n)
+		for j := range p[i] {
+			p[i][j] = Lit(s.NewVar())
+		}
+	}
+	for i := range p {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(-p[i1][j], -p[i2][j])
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budgeted solve = %v, want unknown", got)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := Lit(5)
+	if l.Var() != 5 || l.Neg() != -5 || l.Neg().Var() != 5 {
+		t.Error("Lit helpers broken")
+	}
+	if litFromIndex(Lit(5).index()) != 5 || litFromIndex(Lit(-5).index()) != -5 {
+		t.Error("index round trip broken")
+	}
+}

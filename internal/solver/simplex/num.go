@@ -1,0 +1,65 @@
+// Package simplex implements an exact general simplex procedure for
+// linear real arithmetic in the style of Dutertre and de Moura's
+// "A Fast Linear-Arithmetic Solver for DPLL(T)": problem variables and
+// slack variables carry lower/upper bounds over δ-rationals (so strict
+// inequalities are exact), and a Bland's-rule pivoting loop either
+// repairs all bound violations or reports unsatisfiability.
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Num is a δ-rational a + b·δ, where δ is a positive infinitesimal.
+// Strict bounds x > c are represented as x ≥ c + δ.
+type Num struct {
+	A *big.Rat // standard part
+	B *big.Rat // δ coefficient
+}
+
+// Rat returns the δ-rational for a plain rational.
+func Rat(a *big.Rat) Num { return Num{A: new(big.Rat).Set(a), B: new(big.Rat)} }
+
+// RatDelta returns a + b·δ.
+func RatDelta(a *big.Rat, b int64) Num {
+	return Num{A: new(big.Rat).Set(a), B: big.NewRat(b, 1)}
+}
+
+// Zero returns the δ-rational 0.
+func Zero() Num { return Num{A: new(big.Rat), B: new(big.Rat)} }
+
+// Clone returns a deep copy.
+func (n Num) Clone() Num {
+	return Num{A: new(big.Rat).Set(n.A), B: new(big.Rat).Set(n.B)}
+}
+
+// Cmp compares two δ-rationals lexicographically.
+func (n Num) Cmp(o Num) int {
+	if c := n.A.Cmp(o.A); c != 0 {
+		return c
+	}
+	return n.B.Cmp(o.B)
+}
+
+// Add returns n + o.
+func (n Num) Add(o Num) Num {
+	return Num{A: new(big.Rat).Add(n.A, o.A), B: new(big.Rat).Add(n.B, o.B)}
+}
+
+// Sub returns n − o.
+func (n Num) Sub(o Num) Num {
+	return Num{A: new(big.Rat).Sub(n.A, o.A), B: new(big.Rat).Sub(n.B, o.B)}
+}
+
+// ScaleRat returns n · r for a plain rational r.
+func (n Num) ScaleRat(r *big.Rat) Num {
+	return Num{A: new(big.Rat).Mul(n.A, r), B: new(big.Rat).Mul(n.B, r)}
+}
+
+func (n Num) String() string {
+	if n.B.Sign() == 0 {
+		return n.A.RatString()
+	}
+	return fmt.Sprintf("%s+%sδ", n.A.RatString(), n.B.RatString())
+}

@@ -1,0 +1,105 @@
+package simplex
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Property: δ-rational ordering is a total order consistent with the
+// limit semantics — a + bδ < c + dδ iff a < c, or a = c and b < d.
+func TestQuickNumOrdering(t *testing.T) {
+	f := func(a, b, c, d int32) bool {
+		x := Num{A: big.NewRat(int64(a), 1), B: big.NewRat(int64(b), 1)}
+		y := Num{A: big.NewRat(int64(c), 1), B: big.NewRat(int64(d), 1)}
+		want := 0
+		switch {
+		case a < c || (a == c && b < d):
+			want = -1
+		case a > c || (a == c && b > d):
+			want = 1
+		}
+		return x.Cmp(y) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Num arithmetic is componentwise — (x+y)−y = x.
+func TestQuickNumAddSubInverse(t *testing.T) {
+	f := func(a, b, c, d int32) bool {
+		x := Num{A: big.NewRat(int64(a), 1), B: big.NewRat(int64(b), 1)}
+		y := Num{A: big.NewRat(int64(c), 1), B: big.NewRat(int64(d), 1)}
+		return x.Add(y).Sub(y).Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single-variable box a ≤ x ≤ b is satisfiable iff a ≤ b,
+// and the witness lies in the box.
+func TestQuickBoxFeasibility(t *testing.T) {
+	f := func(aRaw, bRaw int16) bool {
+		a := big.NewRat(int64(aRaw), 1)
+		b := big.NewRat(int64(bRaw), 1)
+		s := New()
+		x := s.NewVar()
+		okLower := s.AssertVarBound(x, Ge, a)
+		okUpper := s.AssertVarBound(x, Le, b)
+		feasible := a.Cmp(b) <= 0
+		if !okLower || !okUpper {
+			// Conflict detected at assert time: must be infeasible.
+			return !feasible
+		}
+		got, err := s.Check()
+		if err != nil {
+			return false
+		}
+		if got != feasible {
+			return false
+		}
+		if got {
+			v := s.Values([]int{x})[x]
+			return v.Cmp(a) >= 0 && v.Cmp(b) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the witness returned after Check satisfies every asserted
+// two-variable constraint (sum and difference bounds oriented to be
+// jointly satisfiable by construction).
+func TestQuickWitnessSatisfiesConstraints(t *testing.T) {
+	f := func(p, q int16, slackRaw uint8) bool {
+		slack := int64(slackRaw%16) + 1
+		s := New()
+		x, y := s.NewVar(), s.NewVar()
+		one := big.NewRat(1, 1)
+		sum := big.NewRat(int64(p)+int64(q), 1)
+		diff := big.NewRat(int64(p)-int64(q), 1)
+		upper := new(big.Rat).Add(sum, big.NewRat(slack, 1))
+		lower := new(big.Rat).Sub(diff, big.NewRat(slack, 1))
+		if !s.AssertAtom(map[int]*big.Rat{x: one, y: one}, Le, upper) {
+			return false
+		}
+		if !s.AssertAtom(map[int]*big.Rat{x: one, y: new(big.Rat).Neg(one)}, Ge, lower) {
+			return false
+		}
+		ok, err := s.Check()
+		if err != nil || !ok {
+			return false
+		}
+		vals := s.Values([]int{x, y})
+		sumV := new(big.Rat).Add(vals[x], vals[y])
+		diffV := new(big.Rat).Sub(vals[x], vals[y])
+		return sumV.Cmp(upper) <= 0 && diffV.Cmp(lower) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestNumOrdering(t *testing.T) {
+	a := Rat(rat(1, 1))
+	b := RatDelta(rat(1, 1), 1)  // 1 + δ
+	c := RatDelta(rat(1, 1), -1) // 1 - δ
+	if !(c.Cmp(a) < 0 && a.Cmp(b) < 0) {
+		t.Error("δ ordering broken")
+	}
+	if a.Add(b).Cmp(RatDelta(rat(2, 1), 1)) != 0 {
+		t.Error("Add broken")
+	}
+	if b.Sub(c).Cmp(RatDelta(rat(0, 1), 2)) != 0 {
+		t.Error("Sub broken")
+	}
+	if b.ScaleRat(rat(3, 1)).Cmp(RatDelta(rat(3, 1), 3)) != 0 {
+		t.Error("ScaleRat broken")
+	}
+}
+
+func TestFeasibleSystem(t *testing.T) {
+	// x + y <= 10, x - y >= 2, x >= 0, y >= 0
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	one := rat(1, 1)
+	if !s.AssertAtom(map[int]*big.Rat{x: one, y: one}, Le, rat(10, 1)) {
+		t.Fatal("assert 1")
+	}
+	if !s.AssertAtom(map[int]*big.Rat{x: one, y: rat(-1, 1)}, Ge, rat(2, 1)) {
+		t.Fatal("assert 2")
+	}
+	s.AssertVarBound(x, Ge, rat(0, 1))
+	s.AssertVarBound(y, Ge, rat(0, 1))
+	ok, err := s.Check()
+	if err != nil || !ok {
+		t.Fatalf("Check = %v, %v", ok, err)
+	}
+	vals := s.Values([]int{x, y})
+	xv, yv := vals[x], vals[y]
+	if new(big.Rat).Add(xv, yv).Cmp(rat(10, 1)) > 0 {
+		t.Errorf("x+y = %v violates <=10", new(big.Rat).Add(xv, yv))
+	}
+	if new(big.Rat).Sub(xv, yv).Cmp(rat(2, 1)) < 0 {
+		t.Errorf("x-y violates >=2")
+	}
+	if xv.Sign() < 0 || yv.Sign() < 0 {
+		t.Error("nonnegativity violated")
+	}
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	// x > 0 ∧ x < 0
+	s := New()
+	x := s.NewVar()
+	s.AssertVarBound(x, Gt, rat(0, 1))
+	if s.AssertVarBound(x, Lt, rat(0, 1)) {
+		// Immediate conflict is allowed to be detected at assert time
+		// or at Check time.
+		ok, err := s.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("x>0 ∧ x<0 should be unsat")
+		}
+	}
+}
+
+func TestStrictBoundsSeparation(t *testing.T) {
+	// x > 1 ∧ x < 2 is satisfiable with a concrete witness strictly
+	// inside the interval.
+	s := New()
+	x := s.NewVar()
+	s.AssertVarBound(x, Gt, rat(1, 1))
+	s.AssertVarBound(x, Lt, rat(2, 1))
+	ok, err := s.Check()
+	if err != nil || !ok {
+		t.Fatalf("Check = %v, %v", ok, err)
+	}
+	v := s.Values([]int{x})[x]
+	if v.Cmp(rat(1, 1)) <= 0 || v.Cmp(rat(2, 1)) >= 0 {
+		t.Errorf("witness %v not strictly inside (1,2)", v)
+	}
+}
+
+func TestStrictInfeasible(t *testing.T) {
+	// x > 1 ∧ x < 1
+	s := New()
+	x := s.NewVar()
+	s.AssertVarBound(x, Gt, rat(1, 1))
+	conflict := !s.AssertVarBound(x, Lt, rat(1, 1))
+	if !conflict {
+		ok, err := s.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("x>1 ∧ x<1 should be unsat")
+		}
+	}
+	// x >= 1 ∧ x <= 1 is satisfiable with x = 1.
+	s2 := New()
+	y := s2.NewVar()
+	s2.AssertVarBound(y, Ge, rat(1, 1))
+	s2.AssertVarBound(y, Le, rat(1, 1))
+	ok, err := s2.Check()
+	if err != nil || !ok {
+		t.Fatalf("Check = %v, %v", ok, err)
+	}
+	if s2.Values([]int{y})[y].Cmp(rat(1, 1)) != 0 {
+		t.Error("y should be exactly 1")
+	}
+}
+
+func TestEqualityChain(t *testing.T) {
+	// x = y, y = z, x = 5 → z = 5.
+	s := New()
+	x, y, z := s.NewVar(), s.NewVar(), s.NewVar()
+	one, mone := rat(1, 1), rat(-1, 1)
+	s.AssertAtom(map[int]*big.Rat{x: one, y: mone}, Eq, rat(0, 1))
+	s.AssertAtom(map[int]*big.Rat{y: one, z: mone}, Eq, rat(0, 1))
+	s.AssertVarBound(x, Eq, rat(5, 1))
+	ok, err := s.Check()
+	if err != nil || !ok {
+		t.Fatalf("Check = %v %v", ok, err)
+	}
+	if s.Values([]int{z})[z].Cmp(rat(5, 1)) != 0 {
+		t.Errorf("z = %v want 5", s.Values([]int{z})[z])
+	}
+}
+
+func TestConstantAtom(t *testing.T) {
+	s := New()
+	if s.AssertAtom(map[int]*big.Rat{}, Gt, rat(1, 1)) {
+		t.Error("0 > 1 should be false")
+	}
+	if !s.AssertAtom(map[int]*big.Rat{}, Le, rat(0, 1)) {
+		t.Error("0 <= 0 should be true")
+	}
+	// Zero-coefficient map is a constant too.
+	if s.AssertAtom(map[int]*big.Rat{0: rat(0, 1)}, Eq, rat(1, 1)) {
+		t.Error("0 = 1 should be false")
+	}
+}
+
+func TestSlackReuse(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	one := rat(1, 1)
+	combo := map[int]*big.Rat{x: one, y: one}
+	s.AssertAtom(combo, Ge, rat(3, 1))
+	nBefore := s.n
+	s.AssertAtom(map[int]*big.Rat{x: rat(1, 1), y: rat(1, 1)}, Le, rat(7, 1))
+	if s.n != nBefore {
+		t.Error("identical combination should reuse its slack variable")
+	}
+	ok, err := s.Check()
+	if err != nil || !ok {
+		t.Fatalf("Check = %v %v", ok, err)
+	}
+}
+
+// TestRandomSystemsAgainstWitness generates random satisfiable systems
+// by construction (pick a witness point, emit only constraints it
+// satisfies) and checks the solver agrees and returns a valid witness.
+func TestRandomSystemsAgainstWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 120; iter++ {
+		nv := 2 + rng.Intn(4)
+		s := New()
+		vars := make([]int, nv)
+		witness := make([]*big.Rat, nv)
+		for i := range vars {
+			vars[i] = s.NewVar()
+			witness[i] = rat(int64(rng.Intn(21)-10), int64(1+rng.Intn(4)))
+		}
+		nc := 1 + rng.Intn(8)
+		for c := 0; c < nc; c++ {
+			coeffs := map[int]*big.Rat{}
+			lhs := new(big.Rat)
+			for i := range vars {
+				if rng.Intn(2) == 0 {
+					co := rat(int64(rng.Intn(9)-4), 1)
+					if co.Sign() == 0 {
+						continue
+					}
+					coeffs[vars[i]] = co
+					lhs.Add(lhs, new(big.Rat).Mul(co, witness[i]))
+				}
+			}
+			// Orient the constraint so the witness satisfies it.
+			slack := rat(int64(rng.Intn(5)), 1)
+			switch rng.Intn(3) {
+			case 0: // lhs <= lhs + slack
+				if !s.AssertAtom(coeffs, Le, new(big.Rat).Add(lhs, slack)) {
+					t.Fatalf("iter %d: satisfiable-by-construction assert failed", iter)
+				}
+			case 1: // lhs >= lhs - slack
+				if !s.AssertAtom(coeffs, Ge, new(big.Rat).Sub(lhs, slack)) {
+					t.Fatalf("iter %d: assert failed", iter)
+				}
+			case 2: // strict: lhs < lhs + slack + 1
+				bound := new(big.Rat).Add(lhs, slack)
+				bound.Add(bound, rat(1, 1))
+				if !s.AssertAtom(coeffs, Lt, bound) {
+					t.Fatalf("iter %d: assert failed", iter)
+				}
+			}
+		}
+		ok, err := s.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("iter %d: satisfiable system reported unsat", iter)
+		}
+	}
+}
+
+// TestRandomInfeasible embeds x ≤ c ∧ x ≥ c+1 among noise constraints.
+func TestRandomInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		s := New()
+		nv := 2 + rng.Intn(3)
+		vars := make([]int, nv)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		conflict := false
+		add := func(ok bool) {
+			if !ok {
+				conflict = true
+			}
+		}
+		// Noise.
+		for c := 0; c < rng.Intn(5); c++ {
+			coeffs := map[int]*big.Rat{vars[rng.Intn(nv)]: rat(int64(1+rng.Intn(3)), 1)}
+			add(s.AssertAtom(coeffs, Le, rat(int64(rng.Intn(50)), 1)))
+		}
+		// Core contradiction on a random combination.
+		coeffs := map[int]*big.Rat{vars[0]: rat(1, 1), vars[rng.Intn(nv)]: rat(2, 1)}
+		c0 := rat(int64(rng.Intn(10)), 1)
+		add(s.AssertAtom(coeffs, Le, c0))
+		add(s.AssertAtom(coeffs, Ge, new(big.Rat).Add(c0, rat(1, 1))))
+		if conflict {
+			continue // detected at assert time
+		}
+		ok, err := s.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("iter %d: infeasible system reported sat", iter)
+		}
+	}
+}

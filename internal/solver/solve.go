@@ -1,0 +1,557 @@
+package solver
+
+import (
+	"math/big"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/solver/arith"
+	"repro/internal/solver/sat"
+	"repro/internal/solver/strings"
+)
+
+func (s *Solver) solve(asserts []ast.Term) Outcome {
+	s.hit(pSolveEntry)
+
+	// Original variables for final model completion.
+	origVars := map[string]ast.Sort{}
+	for _, a := range asserts {
+		for _, v := range ast.FreeVars(a) {
+			origVars[v.Name] = v.VSort
+		}
+	}
+
+	pre, defs, err := s.preprocessWithDefs(asserts)
+	if err != nil {
+		return Outcome{Result: ResUnknown, Reason: err.Error()}
+	}
+
+	// Trivial outcomes after preprocessing.
+	allTrue := true
+	for _, a := range pre {
+		if bl, ok := a.(*ast.BoolLit); ok {
+			if !bl.V {
+				return Outcome{Result: ResUnsat}
+			}
+			continue
+		}
+		allTrue = false
+	}
+	if allTrue {
+		model := s.assembleModel(eval.Model{}, nil, defs, origVars)
+		return Outcome{Result: ResSat, Model: model}
+	}
+
+	ab, err := s.abstract(pre)
+	if err != nil {
+		return Outcome{Result: ResUnknown, Reason: err.Error()}
+	}
+	ab.sat.MaxConflicts = 200000
+
+	sawUnknown := false
+	unknownStreak := 0
+	totalUnknowns := 0
+	for iter := 0; iter < s.cfg.Limits.MaxBoolModels; iter++ {
+		switch ab.sat.Solve() {
+		case sat.Unsat:
+			if sawUnknown {
+				return Outcome{Result: ResUnknown, Reason: "incomplete theory reasoning"}
+			}
+			return Outcome{Result: ResUnsat}
+		case sat.Unknown:
+			return Outcome{Result: ResUnknown, Reason: "sat core budget exhausted"}
+		}
+		s.hit(pSolveSatCore)
+
+		// Extract the theory literals and bool-var assignment implied by
+		// the boolean model.
+		var lits []ast.Term
+		boolModel := eval.Model{}
+		var blocking []sat.Lit
+		for v := 1; v < len(ab.atomTerm); v++ {
+			atom := ab.atomTerm[v]
+			if atom == nil {
+				continue // Tseitin auxiliary
+			}
+			val := ab.sat.Value(v)
+			if val {
+				blocking = append(blocking, -sat.Lit(v))
+			} else {
+				blocking = append(blocking, sat.Lit(v))
+			}
+			if bv, ok := atom.(*ast.Var); ok {
+				boolModel[bv.Name] = eval.BoolV(val)
+				continue
+			}
+			if val {
+				lits = append(lits, atom)
+			} else {
+				lits = append(lits, ast.Not(atom))
+			}
+		}
+
+		st, thModel := s.theoryCheck(lits)
+		switch st {
+		case arith.Sat:
+			model := s.assembleModel(boolModel, thModel, defs, origVars)
+			if s.certify(pre, model, boolModel, thModel) {
+				return Outcome{Result: ResSat, Model: model}
+			}
+			s.hit(pSolveCertifyFail)
+			sawUnknown = true
+			unknownStreak++
+			totalUnknowns++
+		case arith.Unsat:
+			// Theory-valid lemma: safe to block.
+			unknownStreak = 0
+		case arith.Unknown:
+			sawUnknown = true
+			unknownStreak++
+			totalUnknowns++
+		}
+		// Persistent theory incompleteness: further boolean models are
+		// unlikely to be decided either — cut the tail latency.
+		if unknownStreak >= 8 || totalUnknowns >= 20 {
+			return Outcome{Result: ResUnknown, Reason: "persistent theory incompleteness"}
+		}
+		s.hit(pSolveBlocked)
+		if len(blocking) == 0 {
+			// Purely propositional: the SAT model stands.
+			model := s.assembleModel(boolModel, thModel, defs, origVars)
+			if s.certify(pre, model, boolModel, thModel) {
+				return Outcome{Result: ResSat, Model: model}
+			}
+			return Outcome{Result: ResUnknown, Reason: "certification failed"}
+		}
+		if !ab.sat.AddClause(blocking...) {
+			if sawUnknown {
+				return Outcome{Result: ResUnknown, Reason: "incomplete theory reasoning"}
+			}
+			return Outcome{Result: ResUnsat}
+		}
+	}
+	return Outcome{Result: ResUnknown, Reason: "boolean model budget exhausted"}
+}
+
+// defEntry records one definitional inlining x := rhs, in creation
+// order.
+type defEntry struct {
+	name string
+	rhs  ast.Term
+}
+
+// preprocessWithDefs is preprocess plus the recorded definitional
+// substitutions needed to extend models back to eliminated variables.
+func (s *Solver) preprocessWithDefs(asserts []ast.Term) ([]ast.Term, []defEntry, error) {
+	s.defLog = nil
+	pre, err := s.preprocess(asserts)
+	return pre, s.defLog, err
+}
+
+// theoryCheck decides a conjunction of theory literals.
+func (s *Solver) theoryCheck(lits []ast.Term) (arith.Status, eval.Model) {
+	if len(lits) == 0 {
+		return arith.Sat, eval.Model{}
+	}
+	hasString := false
+	for _, l := range lits {
+		ast.Walk(l, func(t ast.Term) bool {
+			if t.Sort() == ast.SortString || t.Sort() == ast.SortRegLan {
+				hasString = true
+			}
+			return !hasString
+		})
+		if hasString {
+			break
+		}
+	}
+	if hasString {
+		return s.stringTheory(lits)
+	}
+	return s.arithTheory(lits)
+}
+
+func (s *Solver) stringTheory(lits []ast.Term) (arith.Status, eval.Model) {
+	s.hit(pTheoryStrings)
+	if s.cfg.Has(DefPerfRegexBlowup) && maxRegexDepth(lits) > 3 && s.defect(DefPerfRegexBlowup) {
+		s.hit(pTheoryPerfRegex)
+		return arith.Unknown, nil // simulated derivative blowup → timeout
+	}
+	s.hit(pTheoryStringsLen)
+	s.hit(pTheoryStringsSearch)
+	st, m := strings.Check(&strings.Problem{
+		Lits:   lits,
+		Limits: s.cfg.Limits.Strings,
+		Defect: func(id string) bool { return s.defect(Defect(id)) },
+	})
+	switch st {
+	case arith.Sat:
+		s.hit(pStrSat)
+	case arith.Unsat:
+		s.hit(pStrUnsat)
+	default:
+		s.hit(pStrUnknown)
+	}
+	return st, m
+}
+
+func maxRegexDepth(lits []ast.Term) int {
+	max := 0
+	for _, l := range lits {
+		ast.Walk(l, func(t ast.Term) bool {
+			if t.Sort() == ast.SortRegLan {
+				if d := ast.Depth(t); d > max {
+					max = d
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return max
+}
+
+func (s *Solver) arithTheory(lits []ast.Term) (arith.Status, eval.Model) {
+	abs := arith.NewAbstractor("\x00nl!")
+	var atoms []arith.Atom
+	var unconverted []ast.Term
+	intVars := map[string]bool{}
+
+	for _, l := range lits {
+		atom, rel, ok := s.litToAtom(l, abs)
+		if !ok {
+			unconverted = append(unconverted, l)
+			continue
+		}
+		atoms = append(atoms, arith.Atom{Expr: atom, Rel: rel})
+	}
+	varsOf := func() {
+		for _, l := range lits {
+			for _, v := range ast.FreeVars(l) {
+				if v.VSort == ast.SortInt {
+					intVars[v.Name] = true
+				}
+			}
+		}
+		for v := range abs.Terms() {
+			if srt, ok := abs.Sort(v); ok && srt == ast.SortInt {
+				intVars[v] = true
+			}
+		}
+	}
+	varsOf()
+
+	nonlinear := abs.Len() > 0
+	if nonlinear {
+		s.hit(pTheoryArithNonlin)
+	} else {
+		s.hit(pTheoryArithLinear)
+	}
+
+	if s.cfg.Has(DefPerfBnBBlowup) && nonlinear && len(intVars) >= 4 && s.defect(DefPerfBnBBlowup) {
+		s.hit(pTheoryPerfBnB)
+		return arith.Unknown, nil // simulated branch-and-bound blowup
+	}
+
+	// Defect: bogus bound-conflict detection reports e ≤ c ∧ e ≥ c as
+	// inconsistent.
+	if s.cfg.Has(DefBoundConflictEq) && s.boundConflictDefect(atoms) {
+		return arith.Unsat, nil
+	}
+
+	st, model := arith.Check(&arith.Problem{
+		Atoms:      atoms,
+		IntVars:    intVars,
+		NodeBudget: s.cfg.Limits.ArithNodeBudget,
+	})
+	switch st {
+	case arith.Unsat:
+		// The abstraction treats nonlinear terms as free variables, so
+		// its unsat is an over-approximation proof: valid either way.
+		s.hit(pArithUnsat)
+		return arith.Unsat, nil
+	case arith.Unknown:
+		s.hit(pArithUnknown)
+		return arith.Unknown, nil
+	}
+
+	// Candidate model: check it against the real (nonlinear) semantics.
+	s.hit(pTheoryArithSample)
+	em := s.toEvalModel(model, lits)
+	if s.litsHold(lits, em) {
+		s.hit(pArithSat)
+		return arith.Sat, em
+	}
+	if len(unconverted) > 0 {
+		s.hit(pArithForeign)
+	}
+	if !nonlinear && len(unconverted) == 0 {
+		// A purely linear model that fails evaluation indicates an
+		// internal inconsistency; report unknown rather than guess.
+		return arith.Unknown, nil
+	}
+	// Nonlinear refinement: try interval refutation, then a small
+	// deterministic sample grid for unvalued variables.
+	if arith.RefuteIntervals(lits, intVarsOf(lits), 8) {
+		s.hit(pTheoryArithRefute)
+		return arith.Unsat, nil
+	}
+	if em2, ok := s.sampleGrid(lits, em); ok {
+		s.hit(pArithGrid)
+		s.hit(pArithSat)
+		return arith.Sat, em2
+	}
+	s.hit(pArithUnknown)
+	return arith.Unknown, nil
+}
+
+// litToAtom converts a literal to a linear atom (with nonlinear
+// abstraction).
+func (s *Solver) litToAtom(l ast.Term, abs *arith.Abstractor) (*arith.LinExpr, arith.Rel, bool) {
+	t := l
+	polarity := true
+	for {
+		app, ok := t.(*ast.App)
+		if !ok {
+			return nil, 0, false
+		}
+		if app.Op != ast.OpNot {
+			break
+		}
+		t = app.Args[0]
+		polarity = !polarity
+	}
+	app, ok := t.(*ast.App)
+	if !ok {
+		return nil, 0, false
+	}
+	var rel arith.Rel
+	switch app.Op {
+	case ast.OpLe:
+		rel = arith.RelLe
+	case ast.OpLt:
+		rel = arith.RelLt
+	case ast.OpGe:
+		rel = arith.RelGe
+	case ast.OpGt:
+		rel = arith.RelGt
+	case ast.OpEq:
+		rel = arith.RelEq
+	case ast.OpDistinct:
+		rel = arith.RelNe
+	default:
+		return nil, 0, false
+	}
+	if len(app.Args) != 2 || !app.Args[0].Sort().IsArith() {
+		return nil, 0, false
+	}
+	if !polarity {
+		rel = rel.Negate()
+	}
+	lhs, err := arith.Linearize(app.Args[0], abs)
+	if err != nil {
+		return nil, 0, false
+	}
+	rhs, err := arith.Linearize(app.Args[1], abs)
+	if err != nil {
+		return nil, 0, false
+	}
+	lhs.AddExpr(rhs, big.NewRat(-1, 1))
+	return lhs, rel, true
+}
+
+func (s *Solver) boundConflictDefect(atoms []arith.Atom) bool {
+	seen := map[string]arith.Rel{}
+	for _, a := range atoms {
+		if a.Rel != arith.RelLe && a.Rel != arith.RelGe {
+			continue
+		}
+		k := a.Expr.String()
+		if prev, ok := seen[k]; ok && prev != a.Rel {
+			// e ≤ 0 together with e ≥ 0: satisfiable with e = 0, but the
+			// defective conflict check calls it inconsistent.
+			return true
+		}
+		seen[k] = a.Rel
+	}
+	return false
+}
+
+// toEvalModel converts an arith model (rationals by name) to an eval
+// model typed by the literals' variable sorts, defaulting unvalued
+// variables.
+func (s *Solver) toEvalModel(m map[string]*big.Rat, lits []ast.Term) eval.Model {
+	sorts := map[string]ast.Sort{}
+	for _, l := range lits {
+		for _, v := range ast.FreeVars(l) {
+			sorts[v.Name] = v.VSort
+		}
+	}
+	out := eval.Model{}
+	for name, srt := range sorts {
+		if val, ok := m[name]; ok {
+			if srt == ast.SortInt {
+				if !val.IsInt() {
+					out[name] = eval.IntV{V: new(big.Int).Quo(val.Num(), val.Denom())}
+				} else {
+					out[name] = eval.IntV{V: new(big.Int).Set(val.Num())}
+				}
+			} else {
+				out[name] = eval.RealV{V: val}
+			}
+		} else {
+			out[name] = eval.DefaultValue(srt)
+		}
+	}
+	return out
+}
+
+func (s *Solver) litsHold(lits []ast.Term, m eval.Model) bool {
+	for _, l := range lits {
+		ok, err := eval.Bool(l, m)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func intVarsOf(lits []ast.Term) map[string]bool {
+	out := map[string]bool{}
+	for _, l := range lits {
+		for _, v := range ast.FreeVars(l) {
+			if v.VSort == ast.SortInt {
+				out[v.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// sampleGrid perturbs up to two variables of a failed candidate model
+// over a small deterministic grid, looking for a witness of the
+// nonlinear conjunction.
+func (s *Solver) sampleGrid(lits []ast.Term, base eval.Model) (eval.Model, bool) {
+	var names []string
+	for name, v := range base {
+		if v.Sort().IsArith() {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 || len(names) > 6 {
+		return nil, false
+	}
+	sortStrings(names)
+	grid := []*big.Rat{
+		big.NewRat(0, 1), big.NewRat(1, 1), big.NewRat(-1, 1),
+		big.NewRat(2, 1), big.NewRat(1, 2), big.NewRat(-2, 1),
+	}
+	set := func(m eval.Model, name string, v *big.Rat) {
+		if m[name].Sort() == ast.SortInt {
+			if !v.IsInt() {
+				return
+			}
+			m[name] = eval.IntV{V: new(big.Int).Set(v.Num())}
+		} else {
+			m[name] = eval.RealV{V: v}
+		}
+	}
+	// Single-variable perturbations.
+	for _, name := range names {
+		for _, g := range grid {
+			m := base.Clone()
+			set(m, name, g)
+			if s.litsHold(lits, m) {
+				return m, true
+			}
+		}
+	}
+	// Pairwise perturbations for small problems.
+	if len(names) <= 3 {
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				for _, g1 := range grid {
+					for _, g2 := range grid {
+						m := base.Clone()
+						set(m, names[i], g1)
+						set(m, names[j], g2)
+						if s.litsHold(lits, m) {
+							return m, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j-1] > ss[j]; j-- {
+			ss[j-1], ss[j] = ss[j], ss[j-1]
+		}
+	}
+}
+
+// assembleModel merges the boolean and theory models, replays the
+// definitional substitutions (latest first) to recover eliminated
+// variables, and default-completes every original variable.
+func (s *Solver) assembleModel(boolModel, thModel eval.Model, defs []defEntry, origVars map[string]ast.Sort) eval.Model {
+	model := eval.Model{}
+	for k, v := range thModel {
+		model[k] = v
+	}
+	for k, v := range boolModel {
+		model[k] = v
+	}
+	for i := len(defs) - 1; i >= 0; i-- {
+		d := defs[i]
+		if _, have := model[d.name]; have {
+			continue
+		}
+		// Default-complete the rhs's variables before evaluating.
+		for _, v := range ast.FreeVars(d.rhs) {
+			if _, ok := model[v.Name]; !ok {
+				model[v.Name] = eval.DefaultValue(v.VSort)
+			}
+		}
+		if val, err := eval.Term(d.rhs, model); err == nil {
+			model[d.name] = val
+		}
+	}
+	for name, srt := range origVars {
+		if _, ok := model[name]; !ok {
+			model[name] = eval.DefaultValue(srt)
+		}
+	}
+	return model
+}
+
+// certify checks the assembled model against the preprocessed asserts.
+// Certification runs after the rewriter, so rewriter defects — like the
+// real bugs the paper found — are not caught here by design.
+func (s *Solver) certify(pre []ast.Term, model eval.Model, boolModel, thModel eval.Model) bool {
+	s.hit(pSolveCertify)
+	full := model.Clone()
+	for k, v := range thModel {
+		full[k] = v
+	}
+	for k, v := range boolModel {
+		full[k] = v
+	}
+	for _, a := range pre {
+		// Complete any residual variables (Tseitin-free aux like lifted
+		// ite variables are in thModel; anything else defaults).
+		for _, v := range ast.FreeVars(a) {
+			if _, ok := full[v.Name]; !ok {
+				full[v.Name] = eval.DefaultValue(v.VSort)
+			}
+		}
+		ok, err := eval.Bool(a, full)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+// Package solver implements the reference SMT solver: a rewriting
+// front end, if-then-else lifting, quantifier normalization with
+// positive-existential skolemization, boolean (Tseitin) abstraction
+// over a CDCL SAT core, and lazy theory checking through the linear
+// arithmetic and string procedures. The solver certifies every sat
+// answer by evaluating the model against the (rewritten) formula, and
+// reports unsat only from theory-valid lemmas — so the *defect-free*
+// configuration is sound by construction, while configured defects
+// reproduce the bug classes the paper found in Z3 and CVC4.
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/coverage"
+	"repro/internal/eval"
+	"repro/internal/smtlib"
+	"repro/internal/solver/strings"
+)
+
+// Result is the solver's answer.
+type Result int8
+
+const (
+	ResUnknown Result = iota
+	ResSat
+	ResUnsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case ResSat:
+		return "sat"
+	case ResUnsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Outcome is the full result of a solve call.
+type Outcome struct {
+	Result Result
+	Model  eval.Model // set when Result == ResSat
+	Reason string     // set when Result == ResUnknown
+	// DefectsFired lists the injected-defect sites whose code path ran
+	// during this solve — the triage signal the harness uses to
+	// deduplicate bug reports (standing in for the paper's root-cause
+	// analysis on the solver's issue tracker).
+	DefectsFired []Defect
+}
+
+// Defect identifies one injected bug site. The catalogue with metadata
+// (solver under test, bug type, logic, affected releases) lives in
+// internal/bugdb; this package implements the sites.
+type Defect string
+
+// Rewriter defects (wrong transformations; can corrupt either answer).
+const (
+	DefStrToIntEmpty      Defect = "rw-str-to-int-empty"
+	DefStrReplaceEmptyPat Defect = "rw-str-replace-empty-pattern"
+	DefStrAtOutOfRange    Defect = "rw-str-at-out-of-range"
+	DefStrSubstrNegLen    Defect = "rw-str-substr-neg-len"
+	DefStrLenConcatDrop   Defect = "rw-str-len-concat-drop"
+	DefStrSuffixEmpty     Defect = "rw-str-suffix-empty"
+	DefStrContainsSelf    Defect = "rw-str-contains-self"
+	DefIntDivNegRound     Defect = "rw-int-div-neg-round"
+	DefModZero            Defect = "rw-mod-zero"
+	DefRealDivCancel      Defect = "rw-real-div-cancel"
+	DefMulSignFold        Defect = "rw-mul-sign-fold"
+	DefIteLiftSwap        Defect = "rw-ite-lift-swap"
+	DefQuantNegPush       Defect = "rw-quant-neg-push"
+	DefDistinctPairDrop   Defect = "rw-distinct-pair-drop"
+	DefGeZeroStrengthen   Defect = "rw-ge-zero-strengthen"
+	DefAbsNegFold         Defect = "rw-abs-neg-fold"
+	DefConcatAssocDrop    Defect = "rw-concat-assoc-drop"
+	DefIndexOfEmptyNeedle Defect = "rw-indexof-empty-needle"
+	// The fusion-pattern cancellation family: these sites guard the
+	// rewrites that fused formulas exercise through their inverted
+	// fusion constraints (x = (x·y) div y, y = replace(x++y, x, ""), …).
+	DefIntDivMulCancel    Defect = "rw-int-div-mul-cancel"
+	DefSubstrConcatPrefix Defect = "rw-substr-concat-prefix"
+	DefReplaceConcatDrop  Defect = "rw-replace-concat-drop"
+	// Inversion-shape defects: fire on the term shapes SAT fusion's
+	// inversion substitution introduces (replace(z, x, "") with variable
+	// operands; comparisons over div terms), over-constraining the
+	// formula — the wrong-unsat answers the paper saw on φsat.
+	DefReplaceVarNoop Defect = "rw-replace-var-noop"
+	DefDivMulThrough  Defect = "rw-div-mul-through"
+)
+
+// Theory defects (wrong inferences; corrupt unsat answers).
+const (
+	DefLenAbsPrefixFlip  Defect = "th-len-abs-prefix-flip"
+	DefRegexMinLenStrict Defect = "th-regex-min-len-strict"
+	DefBoundConflictEq   Defect = "th-bound-conflict-eq"
+)
+
+// Crash defects (panics on specific shapes).
+const (
+	DefCrashDeepNonlinear Defect = "cr-deep-nonlinear-rewrite"
+	DefCrashSelfDivision  Defect = "cr-self-division"
+	DefCrashRangeBounds   Defect = "cr-range-bounds"
+	DefCrashBigSubstr     Defect = "cr-big-substr-index"
+)
+
+// Performance defects (artificial resource exhaustion → unknown).
+const (
+	DefPerfRegexBlowup Defect = "pf-regex-derivative-blowup"
+	DefPerfBnBBlowup   Defect = "pf-branch-and-bound-blowup"
+)
+
+// AllDefects lists every implemented defect site.
+var AllDefects = []Defect{
+	DefStrToIntEmpty, DefStrReplaceEmptyPat, DefStrAtOutOfRange,
+	DefStrSubstrNegLen, DefStrLenConcatDrop, DefStrSuffixEmpty,
+	DefStrContainsSelf, DefIntDivNegRound, DefModZero, DefRealDivCancel,
+	DefMulSignFold, DefIteLiftSwap, DefQuantNegPush, DefDistinctPairDrop,
+	DefGeZeroStrengthen, DefAbsNegFold, DefConcatAssocDrop,
+	DefIndexOfEmptyNeedle, DefIntDivMulCancel, DefSubstrConcatPrefix,
+	DefReplaceConcatDrop, DefReplaceVarNoop, DefDivMulThrough,
+	DefLenAbsPrefixFlip, DefRegexMinLenStrict, DefBoundConflictEq,
+	DefCrashDeepNonlinear, DefCrashSelfDivision, DefCrashRangeBounds,
+	DefCrashBigSubstr,
+	DefPerfRegexBlowup, DefPerfBnBBlowup,
+}
+
+// Limits bounds solver effort (counters, not wall-clock, so runs are
+// deterministic).
+type Limits struct {
+	// MaxBoolModels bounds DPLL(T) boolean-model iterations.
+	MaxBoolModels int
+	// ArithNodeBudget bounds branch-and-bound nodes per theory check.
+	ArithNodeBudget int
+	// Strings bounds the string search.
+	Strings strings.Limits
+}
+
+// DefaultLimits returns the limits used throughout the evaluation.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBoolModels:   150,
+		ArithNodeBudget: 300,
+		Strings:         strings.DefaultLimits(),
+	}
+}
+
+// Config configures a solver instance.
+type Config struct {
+	// Defects enables injected bug sites (nil = reference behaviour).
+	Defects map[Defect]bool
+	// Coverage records probe hits when non-nil.
+	Coverage *coverage.Tracker
+	Limits   Limits
+}
+
+// Has reports whether a defect is enabled.
+func (c *Config) Has(d Defect) bool { return c.Defects[d] }
+
+// Solver is a configured solver instance. It is safe to reuse
+// sequentially; create one per goroutine for parallel use.
+type Solver struct {
+	cfg    Config
+	fired  map[Defect]bool
+	defLog []defEntry // definitional inlinings recorded by preprocess
+}
+
+// New returns a solver with the given configuration. Zero limits are
+// replaced by defaults.
+func New(cfg Config) *Solver {
+	if cfg.Limits.MaxBoolModels == 0 {
+		cfg.Limits = DefaultLimits()
+	}
+	return &Solver{cfg: cfg}
+}
+
+// NewReference returns the defect-free reference solver.
+func NewReference() *Solver { return New(Config{}) }
+
+// hit records a coverage probe.
+func (s *Solver) hit(p *coverage.Probe) { s.cfg.Coverage.Hit(p) }
+
+// defect reports whether a defect site is active, recording it as fired
+// when it is. Call exactly at the site's trigger point.
+func (s *Solver) defect(d Defect) bool {
+	if !s.cfg.Has(d) {
+		return false
+	}
+	if s.fired == nil {
+		s.fired = map[Defect]bool{}
+	}
+	s.fired[d] = true
+	return true
+}
+
+// CrashError is the panic value raised by crash-defect sites; the
+// harness recovers it and classifies the result as a crash.
+type CrashError struct {
+	Site Defect
+	Msg  string
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("internal error at %s: %s", e.Site, e.Msg)
+}
+
+func (s *Solver) crash(d Defect, msg string) {
+	panic(&CrashError{Site: d, Msg: msg})
+}
+
+// SolveScript solves the conjunction of a script's asserts.
+func (s *Solver) SolveScript(sc *smtlib.Script) Outcome {
+	return s.Solve(sc.Asserts())
+}
+
+// Solve decides the conjunction of the given boolean terms.
+func (s *Solver) Solve(asserts []ast.Term) Outcome {
+	s.fired = map[Defect]bool{}
+	out := s.solve(asserts)
+	switch out.Result {
+	case ResSat:
+		s.hit(pSolveSat)
+	case ResUnsat:
+		s.hit(pSolveUnsat)
+	default:
+		s.hit(pSolveUnknown)
+	}
+	for d := range s.fired {
+		out.DefectsFired = append(out.DefectsFired, d)
+	}
+	sortDefects(out.DefectsFired)
+	return out
+}
+
+func sortDefects(ds []Defect) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j-1] > ds[j]; j-- {
+			ds[j-1], ds[j] = ds[j], ds[j-1]
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package strings
+
+import (
+	"math/big"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/solver/arith"
+)
+
+// completeArith runs after every string and boolean variable is
+// assigned: it grounds all string subterms to literals, reduces the
+// remaining literals to linear integer/real atoms, solves them, and
+// certifies the combined model by full evaluation.
+func (c *checker) completeArith(m eval.Model) (bool, eval.Model) {
+	var pending []ast.Term
+	for _, l := range c.lits {
+		if allAssigned(l, m) {
+			ok, err := eval.Bool(l, m)
+			if err != nil || !ok {
+				return false, nil
+			}
+			continue
+		}
+		simplified := simplifyBool(c.ground(l, m))
+		if bl, ok := simplified.(*ast.BoolLit); ok {
+			if !bl.V {
+				return false, nil
+			}
+			continue
+		}
+		// Split ground conjunctions into separate atoms.
+		if app, ok := simplified.(*ast.App); ok && app.Op == ast.OpAnd {
+			pending = append(pending, app.Args...)
+			continue
+		}
+		pending = append(pending, simplified)
+	}
+
+	model := m.Clone()
+	if len(pending) > 0 {
+		var atoms []arith.Atom
+		intVars := map[string]bool{}
+		for _, l := range pending {
+			atom, polarity := stripNot(l)
+			app, ok := atom.(*ast.App)
+			if !ok {
+				return false, nil
+			}
+			rel, ok := relOf(app.Op)
+			if !ok || len(app.Args) != 2 || !app.Args[0].Sort().IsArith() {
+				return false, nil
+			}
+			if !polarity {
+				rel = rel.Negate()
+			}
+			lhs, err := arith.Linearize(app.Args[0], nil)
+			if err != nil {
+				return false, nil
+			}
+			rhs, err := arith.Linearize(app.Args[1], nil)
+			if err != nil {
+				return false, nil
+			}
+			lhs.AddExpr(rhs, big.NewRat(-1, 1))
+			atoms = append(atoms, arith.Atom{Expr: lhs, Rel: rel})
+			for _, v := range ast.FreeVars(atom) {
+				if v.VSort == ast.SortInt {
+					intVars[v.Name] = true
+				}
+			}
+		}
+		st, am := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars, NodeBudget: 60})
+		if st != arith.Sat {
+			return false, nil
+		}
+		for name, val := range am {
+			if c.varSorts[name] == ast.SortReal {
+				model[name] = eval.RealV{V: val}
+			} else {
+				model[name] = eval.IntV{V: val.Num()}
+			}
+		}
+	}
+
+	// Default-complete and certify.
+	for name, s := range c.varSorts {
+		if _, ok := model[name]; !ok {
+			model[name] = eval.DefaultValue(s)
+		}
+	}
+	for _, l := range c.lits {
+		ok, err := eval.Bool(l, model)
+		if err != nil || !ok {
+			return false, nil
+		}
+	}
+	return true, model
+}
+
+// ground replaces every subterm whose free variables are all assigned
+// in m by its literal value.
+func (c *checker) ground(t ast.Term, m eval.Model) ast.Term {
+	return ast.Transform(t, func(s ast.Term) ast.Term {
+		switch n := s.(type) {
+		case *ast.Var:
+			if v, ok := m[n.Name]; ok {
+				return eval.ToTerm(v)
+			}
+			return s
+		case *ast.BoolLit, *ast.IntLit, *ast.RealLit, *ast.StrLit:
+			return s
+		}
+		if s.Sort() == ast.SortRegLan || !allAssigned(s, m) {
+			return s
+		}
+		v, err := eval.Term(s, m)
+		if err != nil {
+			return s
+		}
+		return eval.ToTerm(v)
+	})
+}
+
+// simplifyBool folds ground boolean structure: negations of literals,
+// equalities and ites with a literal boolean side, and conjunctions or
+// disjunctions containing literal members. It leaves theory atoms
+// untouched.
+func simplifyBool(t ast.Term) ast.Term {
+	return ast.Transform(t, func(s ast.Term) ast.Term {
+		app, ok := s.(*ast.App)
+		if !ok {
+			return s
+		}
+		switch app.Op {
+		case ast.OpNot:
+			if bl, ok := app.Args[0].(*ast.BoolLit); ok {
+				return ast.Bool(!bl.V)
+			}
+			if inner, ok := app.Args[0].(*ast.App); ok && inner.Op == ast.OpNot {
+				return inner.Args[0]
+			}
+		case ast.OpEq:
+			if len(app.Args) == 2 && app.Args[0].Sort() == ast.SortBool {
+				if bl, ok := app.Args[0].(*ast.BoolLit); ok {
+					if bl.V {
+						return app.Args[1]
+					}
+					return simplifyBool(ast.Not(app.Args[1]))
+				}
+				if bl, ok := app.Args[1].(*ast.BoolLit); ok {
+					if bl.V {
+						return app.Args[0]
+					}
+					return simplifyBool(ast.Not(app.Args[0]))
+				}
+			}
+		case ast.OpIte:
+			if bl, ok := app.Args[0].(*ast.BoolLit); ok {
+				if bl.V {
+					return app.Args[1]
+				}
+				return app.Args[2]
+			}
+		case ast.OpAnd:
+			var kept []ast.Term
+			for _, a := range app.Args {
+				if bl, ok := a.(*ast.BoolLit); ok {
+					if !bl.V {
+						return ast.False
+					}
+					continue
+				}
+				kept = append(kept, a)
+			}
+			if len(kept) == 0 {
+				return ast.True
+			}
+			return ast.And(kept...)
+		case ast.OpOr:
+			var kept []ast.Term
+			for _, a := range app.Args {
+				if bl, ok := a.(*ast.BoolLit); ok {
+					if bl.V {
+						return ast.True
+					}
+					continue
+				}
+				kept = append(kept, a)
+			}
+			if len(kept) == 0 {
+				return ast.False
+			}
+			return ast.Or(kept...)
+		case ast.OpImplies:
+			if len(app.Args) == 2 {
+				if bl, ok := app.Args[0].(*ast.BoolLit); ok {
+					if !bl.V {
+						return ast.True
+					}
+					return app.Args[1]
+				}
+			}
+		}
+		return s
+	})
+}
+
+func relOf(op ast.Op) (arith.Rel, bool) {
+	switch op {
+	case ast.OpLe:
+		return arith.RelLe, true
+	case ast.OpLt:
+		return arith.RelLt, true
+	case ast.OpGe:
+		return arith.RelGe, true
+	case ast.OpGt:
+		return arith.RelGt, true
+	case ast.OpEq:
+		return arith.RelEq, true
+	case ast.OpDistinct:
+		return arith.RelNe, true
+	}
+	return 0, false
+}

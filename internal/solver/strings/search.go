@@ -1,0 +1,296 @@
+package strings
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/regex"
+)
+
+// search performs the bounded witness search: DFS over candidate
+// assignments for string and boolean variables with defining-equation
+// propagation and per-literal pruning, followed by arithmetic completion
+// for the remaining integer/real variables. It never returns Unsat.
+func (c *checker) search() (Status, eval.Model) {
+	c.buildAlphabet()
+
+	var searchVars []string
+	for name, s := range c.varSorts {
+		if s == ast.SortString || s == ast.SortBool {
+			searchVars = append(searchVars, name)
+		}
+	}
+	sort.Strings(searchVars)
+
+	cands := map[string][]eval.Value{}
+	for _, v := range searchVars {
+		if c.varSorts[v] == ast.SortBool {
+			cands[v] = []eval.Value{eval.BoolV(false), eval.BoolV(true)}
+		} else {
+			cands[v] = c.stringCandidates(v)
+		}
+	}
+	// Most-constrained-first ordering.
+	sort.SliceStable(searchVars, func(i, j int) bool {
+		return len(cands[searchVars[i]]) < len(cands[searchVars[j]])
+	})
+
+	nodes := c.lim.MaxNodes
+	ok, model := c.dfs(searchVars, cands, eval.Model{}, &nodes)
+	if ok {
+		return Sat, model
+	}
+	return Unknown, nil
+}
+
+// buildAlphabet gathers a small alphabet sufficient for candidate
+// construction: every byte in the problem's string literals and ground
+// regexes, digits when integer conversions occur, and a fresh byte.
+func (c *checker) buildAlphabet() {
+	set := map[byte]bool{}
+	needDigits := false
+	for _, l := range c.lits {
+		ast.Walk(l, func(t ast.Term) bool {
+			switch n := t.(type) {
+			case *ast.StrLit:
+				for i := 0; i < len(n.V); i++ {
+					set[n.V[i]] = true
+				}
+			case *ast.App:
+				if n.Op == ast.OpStrToInt || n.Op == ast.OpStrFromInt {
+					needDigits = true
+				}
+			}
+			return true
+		})
+	}
+	for _, rs := range c.pos {
+		for _, r := range rs {
+			for _, ch := range regex.RelevantChars(r) {
+				set[ch] = true
+			}
+		}
+	}
+	if needDigits {
+		set['0'] = true
+		set['1'] = true
+	}
+	if len(set) == 0 {
+		set['a'] = true
+	}
+	// One representative byte outside the set.
+	for _, cand := range []byte{'~', '#', '@'} {
+		if !set[cand] {
+			set[cand] = true
+			break
+		}
+	}
+	out := make([]byte, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > 10 {
+		out = out[:10]
+	}
+	c.alphabet = out
+}
+
+// stringCandidates builds the ordered candidate list for a string
+// variable: regex-guided members when a positive membership constrains
+// the variable, otherwise shortlex strings over the alphabet, literal
+// constants from the problem, and hint-length paddings. Candidates are
+// filtered by negative memberships.
+func (c *checker) stringCandidates(v string) []eval.Value {
+	maxLen := c.lim.MaxLen
+	var raw []string
+	if rs := c.pos[v]; len(rs) > 0 {
+		r := regex.Inter(rs...)
+		raw = regex.Enumerate(r, maxLen+2, c.lim.MaxCandidates)
+	} else {
+		// Problem literals are strong candidates for equalities, and
+		// decimal renderings of integer constants matter for str.to_int
+		// constraints whose digits may be outside the alphabet. They go
+		// first so the candidate cap never drops them.
+		for _, l := range c.lits {
+			ast.Walk(l, func(t ast.Term) bool {
+				switch n := t.(type) {
+				case *ast.StrLit:
+					if len(n.V) <= maxLen+2 {
+						raw = append(raw, n.V)
+					}
+				case *ast.IntLit:
+					if n.V.Sign() >= 0 && len(n.V.String()) <= maxLen+2 {
+						raw = append(raw, n.V.String())
+					}
+				}
+				return true
+			})
+		}
+		raw = append(raw, c.shortlex(maxLen, c.lim.MaxCandidates)...)
+		// Hint-length paddings keep long-but-feasible lengths in reach.
+		if h, ok := c.lenHint[v]; ok && h > 0 && h <= maxLen+2 {
+			for _, ch := range c.alphabet {
+				pad := make([]byte, h)
+				for i := range pad {
+					pad[i] = ch
+				}
+				raw = append(raw, string(pad))
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	var out []eval.Value
+	hint, hasHint := c.lenHint[v]
+	// Prefer hint-length candidates by stable partition.
+	if hasHint {
+		sort.SliceStable(raw, func(i, j int) bool {
+			di := abs(len(raw[i]) - hint)
+			dj := abs(len(raw[j]) - hint)
+			return di < dj
+		})
+	}
+	for _, s := range raw {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if c.violatesNeg(v, s) {
+			continue
+		}
+		out = append(out, eval.StrV(s))
+		if len(out) >= c.lim.MaxCandidates {
+			break
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (c *checker) violatesNeg(v, s string) bool {
+	for _, r := range c.neg[v] {
+		if regex.Match(r, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// shortlex enumerates strings over the alphabet in shortlex order.
+func (c *checker) shortlex(maxLen, limit int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 1; l <= maxLen && len(out) < limit; l++ {
+		var next []string
+		for _, p := range frontier {
+			for _, ch := range c.alphabet {
+				s := p + string(ch)
+				out = append(out, s)
+				next = append(next, s)
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Model, nodes *int) (bool, eval.Model) {
+	if *nodes <= 0 {
+		return false, nil
+	}
+	*nodes--
+
+	// Propagation: a variable whose defining equation is ground under m
+	// is forced; assign it and recurse without branching.
+	for _, v := range order {
+		if _, done := m[v]; done {
+			continue
+		}
+		for _, rhs := range c.eqDefs[v] {
+			if !allAssigned(rhs, m) {
+				continue
+			}
+			val, err := eval.Term(rhs, m)
+			if err != nil {
+				continue
+			}
+			if sv, ok := val.(eval.StrV); ok && c.violatesNeg(v, string(sv)) {
+				return false, nil
+			}
+			m2 := m.Clone()
+			m2[v] = val
+			if !c.litsConsistent(m2) {
+				return false, nil
+			}
+			return c.dfs(order, cands, m2, nodes)
+		}
+	}
+
+	// Branch on the next unassigned variable.
+	var pick string
+	for _, v := range order {
+		if _, done := m[v]; !done {
+			pick = v
+			break
+		}
+	}
+	if pick == "" {
+		return c.completeArith(m)
+	}
+	for _, val := range cands[pick] {
+		m2 := m.Clone()
+		m2[pick] = val
+		if !c.litsConsistent(m2) {
+			continue
+		}
+		if ok, model := c.dfs(order, cands, m2, nodes); ok {
+			return true, model
+		}
+		if *nodes <= 0 {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// litsConsistent evaluates every literal whose free variables are all
+// assigned; any false literal prunes the branch.
+func (c *checker) litsConsistent(m eval.Model) bool {
+	for i, l := range c.lits {
+		ready := true
+		for _, name := range c.litVars[i] {
+			if _, ok := m[name]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		ok, err := eval.Bool(l, m)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func allAssigned(t ast.Term, m eval.Model) bool {
+	for _, v := range ast.FreeVars(t) {
+		if _, ok := m[v.Name]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,459 @@
+// Package strings implements the string theory solver: a length
+// abstraction into linear integer arithmetic (the classic Norn-style
+// reduction), syntactic equality propagation, regex-guided candidate
+// enumeration, and a pruned bounded search for witness models. The
+// procedure is sound and incomplete: Sat answers carry a model checked
+// by exact evaluation, Unsat answers come only from the abstractions,
+// and everything else is Unknown.
+package strings
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/regex"
+	"repro/internal/solver/arith"
+)
+
+// Status mirrors arith.Status for string conjunctions.
+type Status = arith.Status
+
+const (
+	Unknown = arith.Unknown
+	Sat     = arith.Sat
+	Unsat   = arith.Unsat
+)
+
+// Limits bounds the search effort.
+type Limits struct {
+	// MaxLen is the maximum candidate string length explored.
+	MaxLen int
+	// MaxCandidates bounds candidates per variable.
+	MaxCandidates int
+	// MaxNodes bounds DFS nodes.
+	MaxNodes int
+}
+
+// DefaultLimits returns the limits used by the reference solver. The
+// products matter: every DFS node may evaluate all ground literals, and
+// leaves invoke an arithmetic completion, so the node budget is kept
+// small and the DPLL(T) loop above bounds repetitions.
+func DefaultLimits() Limits {
+	return Limits{MaxLen: 5, MaxCandidates: 160, MaxNodes: 1500}
+}
+
+// Problem is a conjunction of literals. Lits must be boolean terms
+// whose polarity is already applied (a negated atom arrives as
+// (not atom)). String-sorted and integer-sorted literals may be mixed;
+// integer literals participate in the length abstraction.
+type Problem struct {
+	Lits   []ast.Term
+	Limits Limits
+	// Defect is the injected-defect hook: when non-nil it is consulted
+	// (and the firing recorded by the caller) at each defect site in
+	// this theory. Site IDs are defined in internal/solver.
+	Defect func(id string) bool
+}
+
+// Check decides the conjunction. On Sat the model assigns every free
+// variable of the literals (strings, ints, bools, reals).
+func Check(p *Problem) (Status, eval.Model) {
+	lim := p.Limits
+	if lim.MaxLen == 0 {
+		lim = DefaultLimits()
+	}
+	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect}
+	if c.defect == nil {
+		c.defect = func(string) bool { return false }
+	}
+	return c.run()
+}
+
+type checker struct {
+	lits    []ast.Term
+	litVars [][]string // free-variable names per literal (precomputed)
+	lim     Limits
+	defect  func(id string) bool
+
+	strVars []string
+	intVars []string
+	// varSorts of all free variables.
+	varSorts map[string]ast.Sort
+
+	// memberships: positive ground regex constraints per string var.
+	pos map[string][]regex.Regex
+	neg map[string][]regex.Regex
+
+	// eqDefs: defining equations v = rhs usable for propagation.
+	eqDefs map[string][]ast.Term
+
+	alphabet []byte
+	lenHint  map[string]int
+}
+
+func (c *checker) run() (Status, eval.Model) {
+	c.varSorts = map[string]ast.Sort{}
+	c.litVars = make([][]string, len(c.lits))
+	for i, l := range c.lits {
+		for _, v := range ast.FreeVars(l) {
+			c.varSorts[v.Name] = v.VSort
+			c.litVars[i] = append(c.litVars[i], v.Name)
+		}
+	}
+	for name, s := range c.varSorts {
+		switch s {
+		case ast.SortString:
+			c.strVars = append(c.strVars, name)
+		case ast.SortInt:
+			c.intVars = append(c.intVars, name)
+		}
+	}
+	sort.Strings(c.strVars)
+	sort.Strings(c.intVars)
+
+	// Syntactic conflicts and regex constraints.
+	if c.collectRegexConstraints() == Unsat {
+		return Unsat, nil
+	}
+
+	// Congruence over simple positive equalities: union-find on
+	// var = var and var = literal; merging two distinct literals is an
+	// immediate conflict (x = "ab" ∧ x = "cd").
+	if c.congruenceConflict() {
+		return Unsat, nil
+	}
+
+	// Length abstraction.
+	st, lenModel := c.lengthAbstraction()
+	if st == Unsat {
+		return Unsat, nil
+	}
+	c.lenHint = lenModel
+
+	// Bounded model search.
+	return c.search()
+}
+
+// collectRegexConstraints gathers ground regex memberships and checks
+// immediate infeasibility (positive membership in an empty language, or
+// an empty positive intersection).
+func (c *checker) collectRegexConstraints() Status {
+	c.pos = map[string][]regex.Regex{}
+	c.neg = map[string][]regex.Regex{}
+	c.eqDefs = map[string][]ast.Term{}
+	for _, l := range c.lits {
+		atom, polarity := stripNot(l)
+		app, ok := atom.(*ast.App)
+		if !ok {
+			continue
+		}
+		switch app.Op {
+		case ast.OpStrInRe:
+			v, isVar := app.Args[0].(*ast.Var)
+			r, err := regex.FromTerm(app.Args[1])
+			if err != nil {
+				continue // non-ground regex: handled only by search
+			}
+			if isVar {
+				if polarity {
+					c.pos[v.Name] = append(c.pos[v.Name], r)
+				} else {
+					c.neg[v.Name] = append(c.neg[v.Name], r)
+				}
+			}
+			if polarity && regex.IsEmpty(r) {
+				return Unsat
+			}
+		case ast.OpEq:
+			if !polarity || app.Args[0].Sort() != ast.SortString {
+				continue
+			}
+			if v, ok := app.Args[0].(*ast.Var); ok {
+				c.eqDefs[v.Name] = append(c.eqDefs[v.Name], app.Args[1])
+			}
+			if v, ok := app.Args[1].(*ast.Var); ok {
+				c.eqDefs[v.Name] = append(c.eqDefs[v.Name], app.Args[0])
+			}
+		}
+	}
+	// Positive membership intersections must be non-empty.
+	for v, rs := range c.pos {
+		if len(rs) > 1 {
+			if regex.IsEmpty(regex.Inter(rs...)) {
+				return Unsat
+			}
+		}
+		_ = v
+	}
+	return Unknown
+}
+
+// congruenceConflict runs union-find over the positive equalities whose
+// sides are variables or literals (of any sort), reporting a conflict
+// when two distinct literals land in one class.
+func (c *checker) congruenceConflict() bool {
+	parent := map[string]string{}
+	var find func(x string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	// Class representative literal (by key) per root.
+	litOf := map[string]ast.Term{}
+	union := func(a, b string, aLit, bLit ast.Term) bool {
+		ra, rb := find(a), find(b)
+		la, lb := litOf[ra], litOf[rb]
+		if aLit != nil {
+			la = aLit
+		}
+		if bLit != nil {
+			lb = bLit
+		}
+		if ra != rb {
+			parent[ra] = rb
+		}
+		switch {
+		case la != nil && lb != nil && !ast.Equal(la, lb):
+			return false // two distinct literals merged
+		case la != nil:
+			litOf[find(rb)] = la
+		case lb != nil:
+			litOf[find(rb)] = lb
+		}
+		return true
+	}
+	keyOf := func(t ast.Term) (name string, lit ast.Term, ok bool) {
+		switch n := t.(type) {
+		case *ast.Var:
+			return "v:" + n.Name, nil, true
+		case *ast.StrLit, *ast.IntLit, *ast.RealLit, *ast.BoolLit:
+			return "l:" + ast.Print(t), t, true
+		}
+		return "", nil, false
+	}
+	for _, l := range c.lits {
+		atom, polarity := stripNot(l)
+		app, isApp := atom.(*ast.App)
+		if !isApp || !polarity || app.Op != ast.OpEq || len(app.Args) != 2 {
+			continue
+		}
+		ka, la, oka := keyOf(app.Args[0])
+		kb, lb, okb := keyOf(app.Args[1])
+		if !oka || !okb {
+			continue
+		}
+		if !union(ka, kb, la, lb) {
+			return true
+		}
+	}
+	return false
+}
+
+// lengthAbstraction derives integer constraints entailed by the string
+// literals, merges them with the conjunction's pure integer literals,
+// and checks them with the linear arithmetic solver.
+func (c *checker) lengthAbstraction() (Status, map[string]int) {
+	abs := arith.NewAbstractor("\x00len!")
+	var atoms []arith.Atom
+	intVars := map[string]bool{}
+
+	lenVar := func(v string) string { return "\x00len$" + v }
+	for _, v := range c.strVars {
+		intVars[lenVar(v)] = true
+		// len ≥ 0
+		e := arith.NewLinExpr()
+		e.AddVar(lenVar(v), big.NewRat(1, 1))
+		atoms = append(atoms, arith.Atom{Expr: e, Rel: arith.RelGe})
+	}
+	for _, v := range c.intVars {
+		intVars[v] = true
+	}
+
+	addAtom := func(e *arith.LinExpr, rel arith.Rel) {
+		atoms = append(atoms, arith.Atom{Expr: e, Rel: rel})
+	}
+
+	// lenExpr builds a linear length expression for a string term, or
+	// nil if the term's length is not linearly expressible.
+	var lenExpr func(t ast.Term) *arith.LinExpr
+	lenExpr = func(t ast.Term) *arith.LinExpr {
+		switch n := t.(type) {
+		case *ast.Var:
+			e := arith.NewLinExpr()
+			e.AddVar(lenVar(n.Name), big.NewRat(1, 1))
+			return e
+		case *ast.StrLit:
+			e := arith.NewLinExpr()
+			e.Const.SetInt64(int64(len(n.V)))
+			return e
+		case *ast.App:
+			if n.Op == ast.OpStrConcat {
+				out := arith.NewLinExpr()
+				for _, a := range n.Args {
+					sub := lenExpr(a)
+					if sub == nil {
+						return nil
+					}
+					out.AddExpr(sub, big.NewRat(1, 1))
+				}
+				return out
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+
+	for _, l := range c.lits {
+		atom, polarity := stripNot(l)
+		app, ok := atom.(*ast.App)
+		if !ok {
+			continue
+		}
+		switch app.Op {
+		case ast.OpEq:
+			if app.Args[0].Sort() == ast.SortString && polarity {
+				a, b := lenExpr(app.Args[0]), lenExpr(app.Args[1])
+				if a != nil && b != nil {
+					a.AddExpr(b, big.NewRat(-1, 1))
+					addAtom(a, arith.RelEq)
+				}
+			} else if app.Args[0].Sort() == ast.SortInt {
+				c.intLit(app, polarity, abs, addAtom)
+			}
+		case ast.OpLe, ast.OpLt, ast.OpGe, ast.OpGt:
+			if app.Args[0].Sort() == ast.SortInt {
+				c.intLit(app, polarity, abs, addAtom)
+			}
+		case ast.OpStrPrefixOf, ast.OpStrSuffixOf:
+			if polarity {
+				a, b := lenExpr(app.Args[0]), lenExpr(app.Args[1])
+				if a != nil && b != nil {
+					a.AddExpr(b, big.NewRat(-1, 1))
+					rel := arith.RelLe // |prefix| ≤ |whole|
+					if c.defect("th-len-abs-prefix-flip") {
+						rel = arith.RelGe // flipped: bogus length conflicts
+					}
+					addAtom(a, rel)
+				}
+			}
+		case ast.OpStrContains:
+			if polarity {
+				a, b := lenExpr(app.Args[0]), lenExpr(app.Args[1])
+				if a != nil && b != nil {
+					b.AddExpr(a, big.NewRat(-1, 1))
+					addAtom(b, arith.RelLe) // |needle| ≤ |haystack|
+				}
+			}
+		case ast.OpStrInRe:
+			v, isVar := app.Args[0].(*ast.Var)
+			if !isVar || !polarity {
+				continue
+			}
+			r, err := regex.FromTerm(app.Args[1])
+			if err != nil {
+				continue
+			}
+			if min, ok := regex.MinLen(r); ok && min > 0 {
+				e := arith.NewLinExpr()
+				e.AddVar(lenVar(v.Name), big.NewRat(1, 1))
+				e.Const.SetInt64(int64(-min))
+				rel := arith.RelGe
+				if c.defect("th-regex-min-len-strict") {
+					rel = arith.RelGt // off-by-one: len == min wrongly refuted
+				}
+				addAtom(e, rel)
+			}
+			if max, ok := regex.MaxLen(r); ok {
+				e := arith.NewLinExpr()
+				e.AddVar(lenVar(v.Name), big.NewRat(1, 1))
+				e.Const.SetInt64(int64(-max))
+				addAtom(e, arith.RelLe)
+			}
+		}
+	}
+
+	// Abstraction variables from integer literals (str.len x becomes
+	// the length variable; other foreign terms stay free).
+	for v, t := range abs.Terms() {
+		if app, ok := t.(*ast.App); ok && app.Op == ast.OpStrLen {
+			if sv, ok := app.Args[0].(*ast.Var); ok {
+				// Tie the abstraction var to the length var.
+				e := arith.NewLinExpr()
+				e.AddVar(v, big.NewRat(1, 1))
+				e.AddVar(lenVar(sv.Name), big.NewRat(-1, 1))
+				atoms = append(atoms, arith.Atom{Expr: e, Rel: arith.RelEq})
+			}
+		}
+		intVars[v] = true
+	}
+
+	st, model := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars})
+	if st == Unsat {
+		return Unsat, nil
+	}
+	hints := map[string]int{}
+	if st == Sat {
+		for _, v := range c.strVars {
+			if lv, ok := model[lenVar(v)]; ok && lv.IsInt() && lv.Num().IsInt64() {
+				hints[v] = int(lv.Num().Int64())
+			}
+		}
+	}
+	return Unknown, hints
+}
+
+// intLit linearizes an integer comparison literal into the abstraction.
+func (c *checker) intLit(app *ast.App, polarity bool, abs *arith.Abstractor, add func(*arith.LinExpr, arith.Rel)) {
+	var rel arith.Rel
+	switch app.Op {
+	case ast.OpEq:
+		rel = arith.RelEq
+	case ast.OpLe:
+		rel = arith.RelLe
+	case ast.OpLt:
+		rel = arith.RelLt
+	case ast.OpGe:
+		rel = arith.RelGe
+	case ast.OpGt:
+		rel = arith.RelGt
+	default:
+		return
+	}
+	if !polarity {
+		rel = rel.Negate()
+	}
+	if len(app.Args) != 2 {
+		return
+	}
+	lhs, err := arith.Linearize(app.Args[0], abs)
+	if err != nil {
+		return
+	}
+	rhs, err := arith.Linearize(app.Args[1], abs)
+	if err != nil {
+		return
+	}
+	lhs.AddExpr(rhs, big.NewRat(-1, 1))
+	add(lhs, rel)
+}
+
+func stripNot(t ast.Term) (ast.Term, bool) {
+	polarity := true
+	for {
+		app, ok := t.(*ast.App)
+		if !ok || app.Op != ast.OpNot {
+			return t, polarity
+		}
+		t = app.Args[0]
+		polarity = !polarity
+	}
+}
