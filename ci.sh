@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, vet, build, full test suite, and
+# race-detector runs over the concurrency-bearing packages. CI and
+# local pre-merge checks run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel campaign + solver) =="
+# -short scales campaign iteration counts down: the race detector
+# needs the parallel shard/merge structure exercised, not volume.
+go test -race -short -timeout 20m ./internal/harness/ ./internal/solver/...
+
+echo "ci: all checks passed"

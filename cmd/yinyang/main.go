@@ -58,8 +58,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("tests: %d   unknowns: %d   bugs: %d   duplicates: %d\n",
-		res.Tests, res.Unknowns, len(res.Bugs), res.Duplicates)
+	fmt.Printf("tests: %d   unknowns: %d   bugs: %d   duplicates: %d   invalid-inputs: %d\n",
+		res.Tests, res.Unknowns, len(res.Bugs), res.Duplicates, res.InvalidInputs)
+	if res.InvalidInputs > 0 {
+		fmt.Printf("WARNING: %d fused scripts rejected by the static verification gate (fusion defect?)\n",
+			res.InvalidInputs)
+	}
 	if res.ReferenceDisagreements > 0 {
 		fmt.Printf("WARNING: %d oracle disagreements without a defect (reference solver bug?)\n",
 			res.ReferenceDisagreements)

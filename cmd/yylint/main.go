@@ -1,0 +1,92 @@
+// Command yylint runs the internal/analysis static verification passes
+// over SMT-LIB files and reports diagnostics. It is the standalone
+// front end to the same passes that gate fusion in internal/core,
+// usable on generator output, reduced bug reports, or hand-written
+// scripts.
+//
+// Usage:
+//
+//	yylint [-fail-on error|warning|info] [-passes p1,p2,...] file.smt2...
+//
+// The exit status is 1 when any file yields a diagnostic at or above
+// the -fail-on severity, 2 on usage or parse errors, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/smtlib"
+)
+
+func main() {
+	failOn := flag.String("fail-on", "warning", "minimum severity that causes a nonzero exit (error, warning, or info)")
+	passNames := flag.String("passes", "", "comma-separated pass names to run (default: all registered passes)")
+	list := flag.Bool("list", false, "list registered passes and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(analysis.Passes()))
+		for _, p := range analysis.Passes() {
+			names = append(names, p.Name())
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	threshold, ok := analysis.SeverityByName(*failOn)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "yylint: unknown severity %q (want error, warning, or info)\n", *failOn)
+		os.Exit(2)
+	}
+
+	passes := analysis.Passes()
+	if *passNames != "" {
+		passes = passes[:0:0]
+		for _, name := range strings.Split(*passNames, ",") {
+			name = strings.TrimSpace(name)
+			p, ok := analysis.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "yylint: unknown pass %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: yylint [-fail-on S] [-passes p1,p2] file.smt2...")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yylint:", err)
+			os.Exit(2)
+		}
+		script, err := smtlib.ParseScript(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yylint: %s: parse error: %v\n", path, err)
+			os.Exit(2)
+		}
+		diags := analysis.AnalyzeScript(script, nil, passes...)
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", path, d)
+			if d.Severity >= threshold {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/smtlib"
+)
+
+// fusionPass verifies the fusion engine's structural postconditions
+// against the metadata the engine reports (it does nothing for scripts
+// without FusionMeta):
+//
+//   - the two renamed ancestors' variable sets are disjoint;
+//   - every triplet's z is a fresh declared variable of the fused sort,
+//     and x, y are declared ancestor variables of the same sort;
+//   - in the UNSAT and mixed-unsat modes, every triplet has its three
+//     fusion constraints z = f(x,y), x = rx(y,z), y = ry(x,z) asserted
+//     (possibly conjoined with divisor guards).
+//
+// Every finding is an error: a violated postcondition means the fused
+// formula's oracle cannot be trusted, so the finding points at the
+// fusion engine, not the solver under test.
+type fusionPass struct{}
+
+func (fusionPass) Name() string { return "fusion" }
+
+func (fusionPass) Analyze(s *smtlib.Script, meta *FusionMeta) []Diagnostic {
+	if meta == nil {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pass: "fusion", Severity: SeverityError,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	seed1 := map[string]bool{}
+	for _, n := range meta.Seed1Vars {
+		seed1[n] = true
+	}
+	for _, n := range meta.Seed2Vars {
+		if seed1[n] {
+			report("ancestor variable sets are not disjoint: %q occurs in both seeds", n)
+		}
+	}
+
+	decls := s.DeclarationSorts()
+	zSeen := map[string]bool{}
+	for i, tr := range meta.Triplets {
+		if zSeen[tr.Z] {
+			report("triplet %d reuses fusion variable %q", i, tr.Z)
+		}
+		zSeen[tr.Z] = true
+		if seed1[tr.Z] {
+			report("fusion variable %q collides with an ancestor variable", tr.Z)
+		}
+		for _, n := range meta.Seed2Vars {
+			if n == tr.Z {
+				report("fusion variable %q collides with an ancestor variable", tr.Z)
+			}
+		}
+		for _, v := range []struct {
+			role, name string
+		}{{"z", tr.Z}, {"x", tr.X}, {"y", tr.Y}} {
+			got, ok := decls[v.name]
+			if !ok {
+				report("triplet %d: %s variable %q is not declared", i, v.role, v.name)
+				continue
+			}
+			if got != tr.Sort {
+				report("triplet %d: %s variable %q declared %v, fused sort is %v", i, v.role, v.name, got, tr.Sort)
+			}
+		}
+	}
+
+	if meta.WantConstraints {
+		asserts := s.Asserts()
+		for i, tr := range meta.Triplets {
+			for _, name := range []string{tr.Z, tr.X, tr.Y} {
+				if !hasConstraintFor(asserts, name) {
+					report("triplet %d: missing fusion constraint (= %s ...) in %s mode", i, name, meta.Mode)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasConstraintFor reports whether some top-level assert pins name with
+// an equality (= name rhs) — either directly or as a conjunct of an
+// (and ...) that also carries divisor guards.
+func hasConstraintFor(asserts []ast.Term, name string) bool {
+	for _, a := range asserts {
+		if constraintIn(a, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func constraintIn(t ast.Term, name string) bool {
+	app, ok := t.(*ast.App)
+	if !ok {
+		return false
+	}
+	switch app.Op {
+	case ast.OpEq:
+		if len(app.Args) >= 2 {
+			if v, ok := app.Args[0].(*ast.Var); ok && v.Name == name {
+				return true
+			}
+		}
+	case ast.OpAnd:
+		for _, a := range app.Args {
+			if constraintIn(a, name) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package golint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsDeterministic is the enforcement point: the whole
+// repository must lint clean. A finding here means someone introduced
+// ambient nondeterminism into a reproducibility-critical path.
+func TestRepoIsDeterministic(t *testing.T) {
+	findings, err := LintDir("../../..")
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("determinism violation: %s", f)
+	}
+}
+
+func lint(t *testing.T, filename, src string) []Finding {
+	t.Helper()
+	fs, err := LintSource(filename, []byte(src))
+	if err != nil {
+		t.Fatalf("LintSource(%s): %v", filename, err)
+	}
+	return fs
+}
+
+func wantRule(t *testing.T, fs []Finding, rule string, n int) {
+	t.Helper()
+	got := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			got++
+		}
+	}
+	if got != n {
+		t.Errorf("want %d %s findings, got %d: %v", n, rule, got, fs)
+	}
+}
+
+func TestGlobalRandRejected(t *testing.T) {
+	fs := lint(t, "internal/gen/x.go", `package gen
+import "math/rand"
+func f() int { return rand.Intn(3) }
+func g() { rand.Shuffle(2, func(i, j int) {}) }
+`)
+	wantRule(t, fs, RuleGlobalRand, 2)
+}
+
+func TestGlobalRandAliasResolved(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import mr "math/rand"
+func f() float64 { return mr.Float64() }
+`)
+	wantRule(t, fs, RuleGlobalRand, 1)
+}
+
+func TestSeededRandAllowed(t *testing.T) {
+	fs := lint(t, "internal/gen/x.go", `package gen
+import "math/rand"
+func f() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(3)
+}
+`)
+	wantRule(t, fs, RuleGlobalRand, 0)
+}
+
+func TestOtherRandPackageIgnored(t *testing.T) {
+	fs := lint(t, "internal/gen/x.go", `package gen
+import "crypto/rand"
+func f() { var b [4]byte; rand.Read(b[:]) }
+`)
+	wantRule(t, fs, RuleGlobalRand, 0)
+}
+
+func TestWallClockRejectedInSolverPath(t *testing.T) {
+	fs := lint(t, "internal/core/x.go", `package core
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	wantRule(t, fs, RuleWallClock, 1)
+}
+
+func TestWallClockAllowedOutsideSolverPath(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	wantRule(t, fs, RuleWallClock, 0)
+}
+
+func TestMapRangeEmittingOutputRejected(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "fmt"
+func f() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 1)
+}
+
+func TestMapRangeWriteStringRejected(t *testing.T) {
+	fs := lint(t, "cmd/tool/main.go", `package main
+import "strings"
+func f(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 1)
+}
+
+func TestMapRangeAppendWithoutSortRejected(t *testing.T) {
+	fs := lint(t, "internal/reduce/x.go", `package reduce
+func f() []string {
+	m := make(map[string]bool)
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 1)
+}
+
+func TestMapRangeAccumulateThenSortAllowed(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "sort"
+func f(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 0)
+}
+
+func TestMapRangeSortSliceClosureAllowed(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "sort"
+type row struct{ year, n int }
+func f(m map[int]int) []row {
+	var rows []row
+	for y, n := range m {
+		rows = append(rows, row{y, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].year < rows[j].year })
+	return rows
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 0)
+}
+
+func TestMapRangeOutsideRenderPathsIgnored(t *testing.T) {
+	fs := lint(t, "internal/eval/x.go", `package eval
+import "fmt"
+func f(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 0)
+}
+
+func TestMapHeuristicsDetectPackageLevelAndFields(t *testing.T) {
+	src := `package harness
+import "fmt"
+var table = map[string]int{}
+type stats struct{ counts map[string]int }
+func mkMap() map[string]bool { return nil }
+func a() {
+	for k := range table {
+		fmt.Println(k)
+	}
+}
+func b(s stats) {
+	for k := range s.counts {
+		fmt.Println(k)
+	}
+}
+func c() {
+	for k := range mkMap() {
+		fmt.Println(k)
+	}
+}
+`
+	fs := lint(t, "internal/harness/x.go", src)
+	wantRule(t, fs, RuleMapRangeRender, 3)
+}
+
+func TestNestedMapIndexDetected(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "fmt"
+var perSUT = map[string]map[int]int{}
+func f() {
+	for y := range perSUT["z3"] {
+		fmt.Println(y)
+	}
+}
+`)
+	wantRule(t, fs, RuleMapRangeRender, 1)
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 3, Rule: RuleGlobalRand, Message: "m"}
+	if got := f.String(); !strings.Contains(got, "a/b.go:3") || !strings.Contains(got, RuleGlobalRand) {
+		t.Errorf("Finding.String() = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/smtlib"
+)
+
+// LogicFeatures is the feature lattice behind SMT-LIB logic names:
+// whether quantifiers, nonlinear arithmetic, and each theory are
+// admitted. A logic L conforms to a declaration D when D's features
+// cover L's.
+type LogicFeatures struct {
+	Quantified bool
+	Nonlinear  bool
+	Ints       bool
+	Reals      bool
+	Strings    bool
+}
+
+// Covers reports whether f admits everything g requires.
+func (f LogicFeatures) Covers(g LogicFeatures) bool {
+	if g.Quantified && !f.Quantified {
+		return false
+	}
+	if g.Nonlinear && !f.Nonlinear {
+		return false
+	}
+	if g.Ints && !f.Ints {
+		return false
+	}
+	if g.Reals && !f.Reals {
+		return false
+	}
+	if g.Strings && !f.Strings {
+		return false
+	}
+	return true
+}
+
+// ParseLogicName maps a standard SMT-LIB logic name to its features.
+// The second result is false for names outside the fragment this
+// system generates (the nine logics of the paper's Figure 7 plus their
+// quantified variants). String logics admit linear Int arithmetic:
+// even QF_S scripts contain Int atoms through str.len and str.to_int.
+func ParseLogicName(name string) (LogicFeatures, bool) {
+	f := LogicFeatures{Quantified: true}
+	rest := name
+	if strings.HasPrefix(rest, "QF_") {
+		f.Quantified = false
+		rest = rest[len("QF_"):]
+	}
+	switch rest {
+	case "S":
+		f.Strings, f.Ints = true, true
+		return f, true
+	case "SLIA":
+		f.Strings, f.Ints = true, true
+		return f, true
+	case "SNIA":
+		f.Strings, f.Ints, f.Nonlinear = true, true, true
+		return f, true
+	}
+	switch {
+	case strings.HasPrefix(rest, "N"):
+		f.Nonlinear = true
+		rest = rest[1:]
+	case strings.HasPrefix(rest, "L"):
+		rest = rest[1:]
+	default:
+		return LogicFeatures{}, false
+	}
+	switch rest {
+	case "IA":
+		f.Ints = true
+	case "RA":
+		f.Reals = true
+	case "IRA":
+		f.Ints, f.Reals = true, true
+	default:
+		return LogicFeatures{}, false
+	}
+	return f, true
+}
+
+// RequiredFeatures computes the features a script actually uses,
+// mirroring smtlib.InferLogic's classification exactly (multiplication
+// is nonlinear with two or more non-literal factors; division and mod
+// are nonlinear with a non-literal divisor).
+func RequiredFeatures(s *smtlib.Script) LogicFeatures {
+	f, _ := requiredFeatures(s)
+	return f
+}
+
+// requiredFeatures additionally returns the path of the first term
+// establishing each feature, for diagnostics.
+func requiredFeatures(s *smtlib.Script) (LogicFeatures, map[string]string) {
+	var f LogicFeatures
+	where := map[string]string{}
+	mark := func(set *bool, key, path string) {
+		if !*set {
+			*set = true
+			where[key] = path
+		}
+	}
+
+	for _, d := range s.Declarations() {
+		switch d.Sort {
+		case ast.SortInt:
+			mark(&f.Ints, "ints", "")
+		case ast.SortReal:
+			mark(&f.Reals, "reals", "")
+		case ast.SortString:
+			mark(&f.Strings, "strings", "")
+		}
+	}
+
+	var scan func(t ast.Term, path string)
+	scan = func(t ast.Term, path string) {
+		switch n := t.(type) {
+		case *ast.Quant:
+			mark(&f.Quantified, "quant", path)
+			scan(n.Body, path+".body")
+		case *ast.App:
+			switch n.Sort() {
+			case ast.SortInt:
+				mark(&f.Ints, "ints", path)
+			case ast.SortReal:
+				mark(&f.Reals, "reals", path)
+			case ast.SortString:
+				mark(&f.Strings, "strings", path)
+			}
+			switch n.Op {
+			case ast.OpMul:
+				nonConst := 0
+				for _, a := range n.Args {
+					if !isLiteral(a) {
+						nonConst++
+					}
+				}
+				if nonConst > 1 {
+					mark(&f.Nonlinear, "nonlinear", path)
+				}
+			case ast.OpRealDiv, ast.OpIntDiv, ast.OpMod:
+				if len(n.Args) > 1 && !isLiteral(n.Args[1]) {
+					mark(&f.Nonlinear, "nonlinear", path)
+				}
+			}
+			for i, a := range n.Args {
+				scan(a, fmt.Sprintf("%s.arg[%d]", path, i))
+			}
+		case *ast.IntLit:
+			mark(&f.Ints, "ints", path)
+		case *ast.RealLit:
+			mark(&f.Reals, "reals", path)
+		case *ast.StrLit:
+			mark(&f.Strings, "strings", path)
+		}
+	}
+	for i, a := range s.Asserts() {
+		scan(a, fmt.Sprintf("assert[%d]", i))
+	}
+	return f, where
+}
+
+func isLiteral(t ast.Term) bool {
+	switch n := t.(type) {
+	case *ast.IntLit, *ast.RealLit, *ast.StrLit, *ast.BoolLit:
+		return true
+	case *ast.App:
+		// (- 3) and (/ 2.0 3.0) are how negative and non-integer
+		// numerals round-trip through SMT-LIB text; both denote
+		// constants (mirrors smtlib.isConstTerm).
+		if n.Op == ast.OpNeg && len(n.Args) == 1 {
+			return isLiteral(n.Args[0])
+		}
+		if n.Op == ast.OpRealDiv && len(n.Args) == 2 {
+			return isLiteral(n.Args[0]) && isLiteral(n.Args[1])
+		}
+	}
+	return false
+}
+
+// logicPass checks the script against its declared logic: quantifiers
+// under a QF_ logic, nonlinear terms under a linear logic, and theory
+// sorts outside the declared theory each produce a warning. Scripts
+// without a set-logic command get a single info note.
+type logicPass struct{}
+
+func (logicPass) Name() string { return "logic" }
+
+func (logicPass) Analyze(s *smtlib.Script, _ *FusionMeta) []Diagnostic {
+	declared := s.Logic()
+	if declared == "" {
+		return []Diagnostic{{
+			Pass: "logic", Severity: SeverityInfo,
+			Message: "script declares no logic (missing set-logic)",
+		}}
+	}
+	df, ok := ParseLogicName(declared)
+	if !ok {
+		return []Diagnostic{{
+			Pass: "logic", Severity: SeverityWarning,
+			Message: fmt.Sprintf("unrecognized logic name %q", declared),
+		}}
+	}
+	req, where := requiredFeatures(s)
+	if df.Covers(req) {
+		return nil
+	}
+
+	var out []Diagnostic
+	warn := func(key, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pass: "logic", Severity: SeverityWarning,
+			Path:    where[key],
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	if req.Quantified && !df.Quantified {
+		warn("quant", "quantifier under quantifier-free logic %s", declared)
+	}
+	if req.Nonlinear && !df.Nonlinear {
+		warn("nonlinear", "nonlinear term under linear logic %s (inferred %s)", declared, smtlib.InferLogic(s))
+	}
+	if req.Ints && !df.Ints {
+		warn("ints", "Int terms outside logic %s", declared)
+	}
+	if req.Reals && !df.Reals {
+		warn("reals", "Real terms outside logic %s", declared)
+	}
+	if req.Strings && !df.Strings {
+		warn("strings", "String terms outside logic %s", declared)
+	}
+	return out
+}

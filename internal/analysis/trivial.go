@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/smtlib"
+)
+
+// trivialPass notes asserts (and atoms inside them) that are constant
+// regardless of any model: literal true/false asserts, reflexive
+// comparisons such as (= t t) or (< t t), and comparisons whose
+// arguments are all literals. These are info-level only — generators
+// legitimately emit constant atoms (a literal leaf oriented against its
+// own value yields (= 3 3), and evaluation fallbacks assert true) — but
+// a fuzzing service wants to know when a formula's solver work is
+// vacuous.
+type trivialPass struct{}
+
+func (trivialPass) Name() string { return "trivial" }
+
+func (trivialPass) Analyze(s *smtlib.Script, _ *FusionMeta) []Diagnostic {
+	var out []Diagnostic
+	note := func(path, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pass: "trivial", Severity: SeverityInfo,
+			Path:    path,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for i, a := range s.Asserts() {
+		root := fmt.Sprintf("assert[%d]", i)
+		if b, ok := a.(*ast.BoolLit); ok {
+			note(root, "assert of the constant %v", b.V)
+			continue
+		}
+		walkWithPath(a, root, func(t ast.Term, path string) {
+			app, ok := t.(*ast.App)
+			if !ok {
+				return
+			}
+			switch app.Op {
+			case ast.OpEq, ast.OpLe, ast.OpGe:
+				if len(app.Args) == 2 && ast.Equal(app.Args[0], app.Args[1]) {
+					note(path, "(%s t t) is trivially true", app.Op)
+					return
+				}
+			case ast.OpLt, ast.OpGt, ast.OpDistinct:
+				if len(app.Args) == 2 && ast.Equal(app.Args[0], app.Args[1]) {
+					note(path, "(%s t t) is trivially false", app.Op)
+					return
+				}
+			default:
+				return
+			}
+			if allLiteralArgs(app) {
+				note(path, "constant atom: %s", ast.Print(app))
+			}
+		})
+	}
+	return out
+}
+
+func allLiteralArgs(app *ast.App) bool {
+	for _, a := range app.Args {
+		if !isLiteral(a) {
+			return false
+		}
+	}
+	return len(app.Args) > 0
+}
+
+// walkWithPath is ast.Walk with the diagnostic path threaded through.
+func walkWithPath(t ast.Term, path string, fn func(ast.Term, string)) {
+	fn(t, path)
+	switch n := t.(type) {
+	case *ast.App:
+		for i, a := range n.Args {
+			walkWithPath(a, fmt.Sprintf("%s.arg[%d]", path, i), fn)
+		}
+	case *ast.Quant:
+		walkWithPath(n.Body, path+".body", fn)
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/smtlib"
+)
+
+// wellSortedPass re-verifies well-sortedness of every term against the
+// internal/ast operator table, independent of the elaborator: every
+// application is re-typed through ast.NewApp and its stored sort
+// compared with the recomputed one, every variable occurrence is
+// checked against the script's declarations (or the enclosing binders),
+// every assert must be boolean, and declarations must be unique. All
+// findings are errors: an ill-sorted script upstream of a solver run
+// invalidates the oracle.
+type wellSortedPass struct{}
+
+func (wellSortedPass) Name() string { return "wellsorted" }
+
+func (wellSortedPass) Analyze(s *smtlib.Script, _ *FusionMeta) []Diagnostic {
+	var out []Diagnostic
+	report := func(path, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pass:     "wellsorted",
+			Severity: SeverityError,
+			Path:     path,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	decls := map[string]ast.Sort{}
+	for _, d := range s.Declarations() {
+		if prev, ok := decls[d.Name]; ok {
+			if prev == d.Sort {
+				report("", "duplicate declaration of %q", d.Name)
+			} else {
+				report("", "conflicting declarations of %q: %v and %v", d.Name, prev, d.Sort)
+			}
+			continue
+		}
+		decls[d.Name] = d.Sort
+	}
+
+	for _, c := range s.Commands {
+		df, ok := c.(*smtlib.DefineFun)
+		if !ok {
+			continue
+		}
+		path := fmt.Sprintf("define-fun %s", df.Name)
+		if df.Body.Sort() != df.Result {
+			report(path, "body has sort %v, declared result is %v", df.Body.Sort(), df.Result)
+		}
+		bound := map[string]ast.Sort{}
+		for _, p := range df.Params {
+			bound[p.Name] = p.Sort
+		}
+		checkTermSorts(df.Body, path+".body", decls, bound, report)
+	}
+
+	for i, a := range s.Asserts() {
+		path := fmt.Sprintf("assert[%d]", i)
+		if a.Sort() != ast.SortBool {
+			report(path, "asserted term has sort %v, want Bool", a.Sort())
+		}
+		checkTermSorts(a, path, decls, nil, report)
+	}
+	return out
+}
+
+// checkTermSorts walks t, re-deriving every application's sort and
+// validating variable occurrences against declarations and binders.
+func checkTermSorts(t ast.Term, path string, decls, bound map[string]ast.Sort, report func(string, string, ...interface{})) {
+	switch n := t.(type) {
+	case *ast.Var:
+		if bs, ok := bound[n.Name]; ok {
+			if bs != n.VSort {
+				report(path, "bound variable %q occurs with sort %v, bound as %v", n.Name, n.VSort, bs)
+			}
+			return
+		}
+		ds, ok := decls[n.Name]
+		if !ok {
+			report(path, "undeclared variable %q", n.Name)
+			return
+		}
+		if ds != n.VSort {
+			report(path, "variable %q occurs with sort %v, declared as %v", n.Name, n.VSort, ds)
+		}
+	case *ast.App:
+		recomputed, err := ast.NewApp(n.Op, n.Args...)
+		if err != nil {
+			report(path, "ill-sorted application: %v", err)
+		} else if recomputed.Sort() != n.Sort() {
+			report(path, "(%s ...) carries sort %v, typing rule derives %v", n.Op, n.Sort(), recomputed.Sort())
+		}
+		for i, a := range n.Args {
+			checkTermSorts(a, fmt.Sprintf("%s.arg[%d]", path, i), decls, bound, report)
+		}
+	case *ast.Quant:
+		if len(n.Bound) == 0 {
+			report(path, "quantifier with empty binder list")
+		}
+		if n.Body.Sort() != ast.SortBool {
+			report(path, "quantifier body has sort %v, want Bool", n.Body.Sort())
+		}
+		inner := make(map[string]ast.Sort, len(bound)+len(n.Bound))
+		for k, v := range bound {
+			inner[k] = v
+		}
+		for _, sv := range n.Bound {
+			inner[sv.Name] = sv.Sort
+		}
+		checkTermSorts(n.Body, path+".body", decls, inner, report)
+	}
+}

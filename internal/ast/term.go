@@ -146,6 +146,14 @@ func MustApp(op Op, args ...Term) Term {
 	return t
 }
 
+// UncheckedApp constructs an application with an explicitly supplied
+// result sort, bypassing the operator's typing rule. All production
+// construction goes through NewApp; this exists so negative tests (and
+// the static analyzer's own test suite) can forge ill-sorted terms.
+func UncheckedApp(op Op, sort Sort, args ...Term) *App {
+	return &App{Op: op, Args: args, sort: sort}
+}
+
 func arityString(info *opInfo) string {
 	if info.maxAr == variadic {
 		return fmt.Sprintf("at least %d", info.minAr)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/eval"
 	"repro/internal/smtlib"
@@ -60,6 +62,18 @@ func concatWith(phi1, phi2 *Seed, mode Mode) (*Fused, error) {
 
 	script := smtlib.NewScript("", decls, asserts)
 	script.Commands = append([]smtlib.Command{&smtlib.SetLogic{Logic: smtlib.InferLogic(script)}}, script.Commands...)
+
+	// Same verification gate as full fusion: concatenation must still
+	// produce a well-sorted script over disjoint ancestor variables.
+	meta := &analysis.FusionMeta{
+		Mode:      mode.String(),
+		Seed1Vars: declNames(decls1),
+		Seed2Vars: declNames(decls2),
+	}
+	if err := analysis.Gate(script, meta); err != nil {
+		return nil, fmt.Errorf("core: concatenated script failed static verification: %w", err)
+	}
+
 	out := &Fused{Script: script, Oracle: oracle, Mode: mode}
 	if oracle == StatusSat && phi1.Witness != nil {
 		w := eval.Model{}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/eval"
 	"repro/internal/smtlib"
@@ -172,6 +173,11 @@ type fuser struct {
 	mode Mode
 
 	used map[string]bool // all variable names in play
+	// zCounter numbers fusion variables. Per-fuser (not package-global)
+	// so concurrent campaigns neither race on it nor let goroutine
+	// interleaving leak into fused-variable names; f.used already
+	// guarantees uniqueness within the script.
+	zCounter int
 }
 
 func (f *fuser) run(phi1, phi2 *Seed) (*Fused, error) {
@@ -259,9 +265,10 @@ func (f *fuser) run(phi1, phi2 *Seed) (*Fused, error) {
 	}
 
 	var (
-		triplets    []Triplet
-		constraints []ast.Term
-		zDecls      []*smtlib.DeclareFun
+		triplets     []Triplet
+		constraints  []ast.Term
+		guardAsserts []ast.Term
+		zDecls       []*smtlib.DeclareFun
 	)
 	for _, p := range chosen {
 		x := ast.NewVar(p.x.Name, p.x.Sort)
@@ -289,10 +296,20 @@ func (f *fuser) run(phi1, phi2 *Seed) (*Fused, error) {
 		asserts2 = f.substRandom(asserts2, p.y.Name, inst.invertY)
 
 		if f.mode == ModeUnsatDisj || f.mode == ModeMixedUnsatConj {
+			// Divisor guards are folded into each constraint (keeping
+			// one assert per constraint): conjoining d ≠ 0 to an unsat
+			// formula preserves unsatisfiability, and it makes the
+			// inversion's division well-guarded under the fixed
+			// x/0 = 0 interpretation.
 			constraints = append(constraints,
-				ast.Eq(z, inst.apply),
-				ast.Eq(x, inst.invertX),
-				ast.Eq(y, inst.invertY))
+				withDivisorGuards(ast.Eq(z, inst.apply), inst.apply),
+				withDivisorGuards(ast.Eq(x, inst.invertX), inst.invertX),
+				withDivisorGuards(ast.Eq(y, inst.invertY), inst.invertY))
+		} else {
+			// Sat modes assert divisor guards standalone. They hold
+			// under the combined witness: pickInstance rejects rows
+			// whose divisors evaluate to zero.
+			guardAsserts = append(guardAsserts, divisorGuards(inst.invertX, inst.invertY)...)
 		}
 	}
 	if len(triplets) == 0 {
@@ -307,9 +324,11 @@ func (f *fuser) run(phi1, phi2 *Seed) (*Fused, error) {
 	switch f.mode {
 	case ModeSatConj:
 		asserts = append(append([]ast.Term{}, asserts1...), asserts2...)
+		asserts = append(asserts, guardAsserts...)
 		oracle = StatusSat
 	case ModeMixedSatDisj:
 		asserts = []ast.Term{ast.Or(conj(asserts1), conj(asserts2))}
+		asserts = append(asserts, guardAsserts...)
 		oracle = StatusSat
 	case ModeUnsatDisj:
 		asserts = []ast.Term{ast.Or(conj(asserts1), conj(asserts2))}
@@ -324,11 +343,98 @@ func (f *fuser) run(phi1, phi2 *Seed) (*Fused, error) {
 	script := smtlib.NewScript("", decls, asserts)
 	script.Commands = append([]smtlib.Command{&smtlib.SetLogic{Logic: smtlib.InferLogic(script)}}, script.Commands...)
 
+	// Post-fusion verification gate: the error-level analysis passes
+	// re-check well-sortedness and the fusion postconditions. A finding
+	// here is a fusion-engine bug and must never reach a solver run.
+	meta := &analysis.FusionMeta{
+		Mode:            f.mode.String(),
+		Seed1Vars:       declNames(decls1),
+		Seed2Vars:       declNames(decls2),
+		WantConstraints: f.mode == ModeUnsatDisj || f.mode == ModeMixedUnsatConj,
+	}
+	for _, tr := range triplets {
+		meta.Triplets = append(meta.Triplets, analysis.FusionTriplet{Z: tr.Z, X: tr.X, Y: tr.Y, Sort: tr.Sort})
+	}
+	if err := analysis.Gate(script, meta); err != nil {
+		return nil, fmt.Errorf("core: fused script failed static verification: %w", err)
+	}
+
 	out := &Fused{Script: script, Oracle: oracle, Mode: f.mode, Triplets: triplets}
 	if oracle == StatusSat {
 		out.Witness = combined
 	}
 	return out, nil
+}
+
+func declNames(decls []*smtlib.DeclareFun) []string {
+	out := make([]string, len(decls))
+	for i, d := range decls {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// variableDivisors collects the non-literal divisor subterms of the
+// given terms, deduplicated by printed form.
+func variableDivisors(terms ...ast.Term) []ast.Term {
+	var out []ast.Term
+	seen := map[string]bool{}
+	add := func(d ast.Term) {
+		switch d.(type) {
+		case *ast.IntLit, *ast.RealLit:
+			return
+		}
+		key := ast.Print(d)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	for _, t := range terms {
+		ast.Walk(t, func(n ast.Term) bool {
+			app, ok := n.(*ast.App)
+			if !ok {
+				return true
+			}
+			switch app.Op {
+			case ast.OpIntDiv, ast.OpRealDiv:
+				for _, d := range app.Args[1:] {
+					add(d)
+				}
+			case ast.OpMod:
+				add(app.Args[1])
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// divisorGuards returns one (distinct d 0) assert per non-literal
+// divisor occurring in the terms.
+func divisorGuards(terms ...ast.Term) []ast.Term {
+	var out []ast.Term
+	for _, d := range variableDivisors(terms...) {
+		out = append(out, ast.MustApp(ast.OpDistinct, d, zeroOf(d.Sort())))
+	}
+	return out
+}
+
+// withDivisorGuards conjoins eq with nonzero guards for inv's divisors,
+// keeping a single assert.
+func withDivisorGuards(eq ast.Term, inv ast.Term) ast.Term {
+	guards := divisorGuards(inv)
+	if len(guards) == 0 {
+		return eq
+	}
+	return ast.And(append([]ast.Term{eq}, guards...)...)
+}
+
+func zeroOf(s ast.Sort) ast.Term {
+	if s == ast.SortReal {
+		return ast.Real(0, 1)
+	}
+	return ast.Int(0)
 }
 
 // renameApart renames φ2's variables that clash with names already in
@@ -371,12 +477,10 @@ func (f *fuser) renameApart(phi *Seed) ([]*smtlib.DeclareFun, []ast.Term, eval.M
 	return decls, asserts, witness
 }
 
-var zCounter int
-
 func (f *fuser) freshZ() string {
 	for {
-		zCounter++
-		name := fmt.Sprintf("z_fuse_%d", zCounter)
+		f.zCounter++
+		name := fmt.Sprintf("z_fuse_%d", f.zCounter)
 		if !f.used[name] {
 			f.used[name] = true
 			return name
@@ -421,7 +525,10 @@ func (f *fuser) pickInstance(sort ast.Sort, x, y, z *ast.Var, witness eval.Model
 }
 
 // exactUnder checks, by evaluation, that z := f(x,y) makes both
-// inversions recover x and y under the witness.
+// inversions recover x and y under the witness, and that every
+// non-literal divisor inside the instance evaluates to a nonzero value
+// (so the emitted divisor guards hold under the witness and the
+// inversion never silently relies on the fixed x/0 = 0 semantics).
 func (f *fuser) exactUnder(inst instance, x, y, z *ast.Var, witness eval.Model) bool {
 	zv, err := eval.Term(inst.apply, witness)
 	if err != nil {
@@ -437,17 +544,30 @@ func (f *fuser) exactUnder(inst instance, x, y, z *ast.Var, witness eval.Model) 
 	if err != nil || !eval.Equal(ry, probe[y.Name]) {
 		return false
 	}
+	for _, d := range variableDivisors(inst.apply, inst.invertX, inst.invertY) {
+		dv, err := eval.Term(d, probe)
+		if err != nil || eval.Equal(dv, eval.DefaultValue(d.Sort())) {
+			return false
+		}
+	}
 	return true
 }
 
 // substRandom replaces each free occurrence of name in each assert with
-// probability ReplaceProb.
+// probability ReplaceProb. When the assert list contains division or
+// modulo, all occurrences are replaced together on a single coin flip:
+// a seed's divisor and its syntactic nonzero guard (a sibling atom or
+// an ite condition) must rewrite consistently, or the fused formula
+// would carry a division whose guard no longer matches it.
 func (f *fuser) substRandom(asserts []ast.Term, name string, repl ast.Term) []ast.Term {
+	pick := func(int) bool { return f.rng.Float64() < f.opts.ReplaceProb }
+	if divisionInvolved(asserts, name) {
+		all := f.rng.Float64() < f.opts.ReplaceProb
+		pick = func(int) bool { return all }
+	}
 	out := make([]ast.Term, len(asserts))
 	for i, a := range asserts {
-		res, _, err := ast.SubstituteOccurrences(a, name, repl, func(int) bool {
-			return f.rng.Float64() < f.opts.ReplaceProb
-		})
+		res, _, err := ast.SubstituteOccurrences(a, name, repl, pick)
 		if err != nil {
 			out[i] = a
 			continue
@@ -455,6 +575,33 @@ func (f *fuser) substRandom(asserts []ast.Term, name string, repl ast.Term) []as
 		out[i] = res
 	}
 	return out
+}
+
+// divisionInvolved reports whether name occurs free in a list that also
+// contains a division or modulo operator.
+func divisionInvolved(asserts []ast.Term, name string) bool {
+	hasDiv, occurs := false, false
+	for _, a := range asserts {
+		if !hasDiv {
+			ast.Walk(a, func(t ast.Term) bool {
+				if app, ok := t.(*ast.App); ok {
+					switch app.Op {
+					case ast.OpIntDiv, ast.OpRealDiv, ast.OpMod:
+						hasDiv = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+		if !occurs && ast.CountFreeOccurrences(a, name) > 0 {
+			occurs = true
+		}
+		if hasDiv && occurs {
+			return true
+		}
+	}
+	return false
 }
 
 func conj(ts []ast.Term) ast.Term {

@@ -154,12 +154,45 @@ func (g *Generator) arithTerm(vars []*ast.Var, depth int) ast.Term {
 		return ast.Mul(g.numLit(big.NewRat(int64(g.rng.Intn(7)-3), 1)), a)
 	case 4: // nonlinear product
 		return ast.Mul(a, b)
-	default: // nonlinear division
-		if g.tr.sort == ast.SortReal {
-			return ast.MustApp(ast.OpRealDiv, a, b)
+	default: // nonlinear division, guarded against a zero divisor
+		if sign, isLit := litSign(b); isLit && sign == 0 {
+			// A literal-zero divisor makes the guard statically false
+			// and the division dead; emit the dividend alone.
+			return a
 		}
-		return ast.MustApp(ast.OpIntDiv, a, b)
+		var d ast.Term
+		if g.tr.sort == ast.SortReal {
+			d = ast.MustApp(ast.OpRealDiv, a, b)
+		} else {
+			d = ast.MustApp(ast.OpIntDiv, a, b)
+		}
+		if _, isLit := litSign(b); isLit {
+			// Nonzero literal divisor: the guard would be statically
+			// true, so the division needs none.
+			return d
+		}
+		guard := ast.MustApp(ast.OpDistinct, b, g.numLit(big.NewRat(0, 1)))
+		return ast.Ite(guard, d, a)
 	}
+}
+
+// litSign returns the sign of a numeric literal, seeing through unary
+// minus (mirrors the analysis pass's literal test); ok=false for
+// non-literal terms.
+func litSign(t ast.Term) (int, bool) {
+	switch n := t.(type) {
+	case *ast.IntLit:
+		return n.V.Sign(), true
+	case *ast.RealLit:
+		return n.V.Sign(), true
+	case *ast.App:
+		if n.Op == ast.OpNeg && len(n.Args) == 1 {
+			if s, ok := litSign(n.Args[0]); ok {
+				return -s, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // validQuantified returns a closed-under-witness valid quantified
@@ -250,9 +283,12 @@ func (g *Generator) arithContradiction(vars []*ast.Var) []ast.Term {
 			if len(vars) >= 3 {
 				v, w = vars[1], vars[2]
 			}
+			// v > 0 is implied (0 < x < v) but asserted explicitly so
+			// the division carries a syntactic nonzero guard.
 			return []ast.Term{
 				ast.Gt(x, g.numLit(big.NewRat(0, 1))),
 				ast.Lt(x, v), ast.Ge(w, v),
+				ast.Gt(v, g.numLit(big.NewRat(0, 1))),
 				ast.Lt(ast.MustApp(ast.OpRealDiv, w, v), g.numLit(big.NewRat(0, 1))),
 			}
 		})

@@ -152,7 +152,13 @@ func (g *Generator) fresh(prefix string) string {
 }
 
 func (g *Generator) script(decls []*smtlib.DeclareFun, asserts []ast.Term) *smtlib.Script {
-	return smtlib.NewScript(string(g.logic), decls, asserts)
+	logic := string(g.logic)
+	if g.logic == StringFuzz {
+		// StringFuzz is a generator family, not an SMT-LIB logic name;
+		// its scripts declare the standard string logic.
+		logic = string(QFS)
+	}
+	return smtlib.NewScript(logic, decls, asserts)
 }
 
 // randInt samples a small integer value.

@@ -6,11 +6,13 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/bugdb"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -111,6 +113,10 @@ type Result struct {
 	// fired — these would indicate a bug in the reference solver itself
 	// and must be zero.
 	ReferenceDisagreements int
+	// InvalidInputs counts fused scripts rejected by the static
+	// verification gate (internal/analysis) — generator or fusion
+	// defects triaged separately from solver verdicts.
+	InvalidInputs int
 }
 
 // BugByDefect returns the bug for a defect, if found.
@@ -155,6 +161,7 @@ func Run(cfg Campaign) (*Result, error) {
 		merged.Unknowns += r.Unknowns
 		merged.Duplicates += r.Duplicates
 		merged.ReferenceDisagreements += r.ReferenceDisagreements
+		merged.InvalidInputs += r.InvalidInputs
 		for _, b := range r.Bugs {
 			if seen[b.Defect] {
 				merged.Duplicates++
@@ -197,6 +204,10 @@ func runShard(cfg Campaign, seed int64) (*Result, error) {
 				fused, err = core.Fuse(s1, s2, rng, cfg.Fusion)
 			}
 			if err != nil {
+				var ge *analysis.GateError
+				if errors.As(err, &ge) {
+					res.InvalidInputs++
+				}
 				continue // no fusable pair: skip this pair
 			}
 			res.Tests++

@@ -11,7 +11,7 @@ func TestStringChannelHunt(t *testing.T) {
 	res, err := Run(Campaign{
 		SUT:        bugdb.CVC4Sim,
 		Logics:     []gen.Logic{gen.QFS, gen.QFSLIA, gen.StringFuzz},
-		Iterations: 300,
+		Iterations: shortIters(300),
 		SeedPool:   15,
 		Seed:       31,
 		Threads:    8,

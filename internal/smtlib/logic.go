@@ -94,9 +94,20 @@ func InferLogic(s *Script) string {
 }
 
 func isConstTerm(t ast.Term) bool {
-	switch t.(type) {
+	switch n := t.(type) {
 	case *ast.IntLit, *ast.RealLit, *ast.StrLit, *ast.BoolLit:
 		return true
+	case *ast.App:
+		// SMT-LIB has no negative or non-integer numerals: -3 prints
+		// as (- 3) and 2/3 as (/ 2.0 3.0), and both parse back as
+		// applications, but they still denote constants, so a scalar
+		// multiple by either stays linear.
+		if n.Op == ast.OpNeg && len(n.Args) == 1 {
+			return isConstTerm(n.Args[0])
+		}
+		if n.Op == ast.OpRealDiv && len(n.Args) == 2 {
+			return isConstTerm(n.Args[0]) && isConstTerm(n.Args[1])
+		}
 	}
 	return false
 }

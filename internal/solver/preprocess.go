@@ -301,11 +301,9 @@ func (s *Solver) skolemize(t ast.Term, positive bool) ast.Term {
 	}
 }
 
-var freshCounter int
-
 func (s *Solver) freshName(base string) string {
-	freshCounter++
-	return fmt.Sprintf("%s!%d", base, freshCounter)
+	s.freshCounter++
+	return fmt.Sprintf("%s!%d", base, s.freshCounter)
 }
 
 // liftIte hoists non-boolean if-then-else terms out of atoms: each

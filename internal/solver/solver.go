@@ -164,6 +164,10 @@ type Solver struct {
 	cfg    Config
 	fired  map[Defect]bool
 	defLog []defEntry // definitional inlinings recorded by preprocess
+	// freshCounter numbers skolem/ite-lift variables. Per-solver (not
+	// package-global) so parallel campaigns neither race on it nor let
+	// shard interleaving leak into generated names.
+	freshCounter int
 }
 
 // New returns a solver with the given configuration. Zero limits are
