@@ -6,15 +6,12 @@ package yinyang
 // budgets so `go test -bench=.` regenerates every experiment's shape.
 
 import (
-	"math/rand"
 	"testing"
 
+	"repro/internal/benchmarks"
 	"repro/internal/bugdb"
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/harness"
-	"repro/internal/smtlib"
-	"repro/internal/solver"
 )
 
 // BenchmarkFig7SeedGeneration regenerates the Figure 7 seed corpora
@@ -32,20 +29,9 @@ func BenchmarkFig7SeedGeneration(b *testing.B) {
 }
 
 // BenchmarkFig8Campaign runs the (scaled) main bug-finding campaign of
-// Figures 8a–8c against both trunk SUTs.
-func BenchmarkFig8Campaign(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, err := harness.ExperimentFig8(harness.CampaignBudget{
-			Iterations: 40, SeedPool: 10, Seed: int64(i + 1), Threads: 4,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(f.Z3.Bugs) == 0 {
-			b.Fatal("campaign found no z3sim bugs")
-		}
-	}
-}
+// Figures 8a–8c against both trunk SUTs. The body lives in
+// internal/benchmarks so cmd/bench measures the identical workload.
+func BenchmarkFig8Campaign(b *testing.B) { benchmarks.Fig8Campaign(b) }
 
 // BenchmarkFig9Survey tabulates the historic survey (Figure 9).
 func BenchmarkFig9Survey(b *testing.B) {
@@ -133,90 +119,18 @@ func BenchmarkRQ4Retrigger(b *testing.B) {
 // second in single-threaded mode — the paper reports 41.5 tests/s.
 // ns/op here is the cost of ONE fused test (generate pair + fuse +
 // solve), so tests/s = 1e9 / (ns/op).
-func BenchmarkThroughputSingleThreaded(b *testing.B) {
-	g, err := gen.New(gen.QFLIA, 3)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var sat, unsat []*core.Seed
-	for i := 0; i < 10; i++ {
-		sat = append(sat, g.Sat())
-		unsat = append(unsat, g.Unsat())
-	}
-	sut := bugdb.NewTrunkSolver(bugdb.Z3Sim, nil)
-	rng := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		pool := sat
-		if i%2 == 1 {
-			pool = unsat
-		}
-		fused, err := core.Fuse(pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], rng, core.Options{})
-		if err != nil {
-			continue
-		}
-		harness.RunSolver(sut, fused.Script)
-	}
-}
+func BenchmarkThroughputSingleThreaded(b *testing.B) { benchmarks.ThroughputSingleThreaded(b) }
 
 // BenchmarkFusionOnly isolates the fusion engine's cost (Algorithm 2
 // without the solver).
-func BenchmarkFusionOnly(b *testing.B) {
-	g, err := gen.New(gen.QFNRA, 5)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var seeds []*core.Seed
-	for i := 0; i < 10; i++ {
-		seeds = append(seeds, g.Sat())
-	}
-	rng := rand.New(rand.NewSource(2))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Fuse(seeds[i%10], seeds[(i+3)%10], rng, core.Options{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFusionOnly(b *testing.B) { benchmarks.FusionOnly(b) }
 
 // BenchmarkSolverReference measures the reference solver on a fixed mix
 // of generated formulas across logics.
-func BenchmarkSolverReference(b *testing.B) {
-	var scripts []*smtlib.Script
-	for _, logic := range []gen.Logic{gen.QFLIA, gen.QFLRA, gen.QFNRA, gen.QFS} {
-		g, err := gen.New(logic, 9)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for i := 0; i < 5; i++ {
-			scripts = append(scripts, g.Sat().Script, g.Unsat().Script)
-		}
-	}
-	s := solver.NewReference()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		harness.RunSolver(s, scripts[i%len(scripts)])
-	}
-}
+func BenchmarkSolverReference(b *testing.B) { benchmarks.SolverReference(b) }
 
 // BenchmarkParsePrint measures the SMT-LIB front end round trip.
-func BenchmarkParsePrint(b *testing.B) {
-	g, err := gen.New(gen.QFSLIA, 13)
-	if err != nil {
-		b.Fatal(err)
-	}
-	src := smtlib.Print(g.Sat().Script)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sc, err := smtlib.ParseScript(src)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if smtlib.Print(sc) == "" {
-			b.Fatal("empty print")
-		}
-	}
-}
+func BenchmarkParsePrint(b *testing.B) { benchmarks.ParsePrint(b) }
 
 // BenchmarkAblationFusionFns runs the fusion-function family ablation
 // at a small budget (DESIGN.md §5).

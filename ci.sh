@@ -27,4 +27,10 @@ echo "== go test -race (parallel campaign + solver) =="
 # needs the parallel shard/merge structure exercised, not volume.
 go test -race -short -timeout 20m ./internal/harness/ ./internal/solver/...
 
+echo "== bench gate =="
+# Short-mode regression gate: runs the fast benchmarks and compares
+# tests/s against the latest committed BENCH_<n>.json; a drop beyond
+# 25% on any benchmark fails CI. Gate-only: no file is written.
+go run ./cmd/bench -short -write=false
+
 echo "ci: all checks passed"

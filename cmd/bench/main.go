@@ -1,0 +1,219 @@
+// Command bench is the benchmark-regression harness: it runs the
+// shared benchmark bodies (internal/benchmarks), writes a BENCH_<n>.json
+// perf-trajectory file (ns/op, bytes/op, allocs/op, tests per second),
+// and gates against the previous file — a throughput drop beyond the
+// tolerance fails the run, making every PR's speedup or regression
+// visible.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # full suite, writes BENCH_<n+1>.json
+//	go run ./cmd/bench -short          # fast subset (CI gate)
+//	go run ./cmd/bench -o /tmp/b.json  # explicit output path
+//	go run ./cmd/bench -write=false    # gate only, write nothing
+//
+// The gate compares only benchmarks present in both the new run and the
+// baseline, so a -short run gates cleanly against a committed full run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/benchmarks"
+)
+
+type benchStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// OpsPerSec is 1e9/ns_per_op — for ThroughputSingleThreaded this is
+	// the paper's fused tests per second.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+type report struct {
+	Timestamp  string                `json:"timestamp"`
+	GoVersion  string                `json:"go_version"`
+	NumCPU     int                   `json:"num_cpu"`
+	Mode       string                `json:"mode"`
+	Benchmarks map[string]benchStats `json:"benchmarks"`
+}
+
+var benchFilePat = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func main() {
+	short := flag.Bool("short", false, "run only the fast benchmarks with a reduced benchtime (CI mode)")
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json files (baseline lookup and default output)")
+	out := flag.String("o", "", "explicit output path (default: next BENCH_<n>.json in -dir)")
+	write := flag.Bool("write", true, "write the result file (false: gate only)")
+	tolerance := flag.Float64("tolerance", 0.25, "max allowed fractional ops/sec regression vs baseline")
+	benchtime := flag.String("benchtime", "", "benchtime per benchmark (default 1s, or 300ms with -short)")
+	flag.Parse()
+
+	testing.Init()
+	bt := *benchtime
+	if bt == "" {
+		bt = "1s"
+		if *short {
+			bt = "300ms"
+		}
+	}
+	if err := flag.Lookup("test.benchtime").Value.Set(bt); err != nil {
+		fatal(err)
+	}
+
+	mode := "full"
+	if *short {
+		mode = "short"
+	}
+	rep := report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Mode:       mode,
+		Benchmarks: map[string]benchStats{},
+	}
+
+	for _, e := range benchmarks.All {
+		if *short && !e.Fast {
+			fmt.Printf("%-28s skipped (-short)\n", e.Name)
+			continue
+		}
+		// Collect garbage left by the previous benchmark (dead interned
+		// terms in particular) so measurements don't bleed into each
+		// other.
+		runtime.GC()
+		res := testing.Benchmark(e.Fn)
+		if res.N == 0 {
+			fatal(fmt.Errorf("benchmark %s did not run", e.Name))
+		}
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		st := benchStats{
+			NsPerOp:     ns,
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			OpsPerSec:   1e9 / ns,
+		}
+		rep.Benchmarks[e.Name] = st
+		fmt.Printf("%-28s %12.0f ns/op %10d allocs/op %12.1f ops/s\n",
+			e.Name, st.NsPerOp, st.AllocsPerOp, st.OpsPerSec)
+	}
+
+	baseline, baseName, err := latestBaseline(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *write {
+		path := *out
+		if path == "" {
+			path = filepath.Join(*dir, nextBenchName(*dir))
+		}
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if baseline == nil {
+		fmt.Println("no baseline BENCH_<n>.json: gate skipped")
+		return
+	}
+	fmt.Printf("gating against %s (tolerance %.0f%%)\n", baseName, *tolerance*100)
+	if failures := gate(rep, *baseline, *tolerance); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("bench gate passed")
+}
+
+// latestBaseline loads the highest-numbered BENCH_<n>.json in dir.
+func latestBaseline(dir string) (*report, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	best, bestName := -1, ""
+	for _, e := range entries {
+		m := benchFilePat.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n > best {
+			best, bestName = n, e.Name()
+		}
+	}
+	if best < 0 {
+		return nil, "", nil
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, bestName))
+	if err != nil {
+		return nil, "", err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", bestName, err)
+	}
+	return &rep, bestName, nil
+}
+
+func nextBenchName(dir string) string {
+	entries, _ := os.ReadDir(dir)
+	next := 1
+	for _, e := range entries {
+		if m := benchFilePat.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+				next = n + 1
+			}
+		}
+	}
+	return fmt.Sprintf("BENCH_%d.json", next)
+}
+
+// gate returns one failure message per benchmark whose throughput
+// dropped more than the tolerated fraction below the baseline. Only
+// benchmarks present in both reports are compared.
+func gate(cur, base report, tolerance float64) []string {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		b, ok := base.Benchmarks[name]
+		if !ok || b.OpsPerSec <= 0 {
+			continue
+		}
+		c := cur.Benchmarks[name]
+		if c.OpsPerSec < b.OpsPerSec*(1-tolerance) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ops/s vs baseline %.1f ops/s (-%.0f%%, tolerance %.0f%%)",
+				name, c.OpsPerSec, b.OpsPerSec,
+				(1-c.OpsPerSec/b.OpsPerSec)*100, tolerance*100))
+		}
+	}
+	return failures
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@
 //	yinyang [-sut z3sim] [-release trunk] [-logics QF_S,QF_NRA]
 //	        [-iters 200] [-pool 20] [-seed 1] [-threads 1]
 //	        [-concat] [-outdir bugs/]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bugdb"
@@ -34,7 +37,23 @@ func main() {
 	threads := flag.Int("threads", 1, "parallel workers")
 	concat := flag.Bool("concat", false, "ConcatFuzz baseline (no variable fusion)")
 	outdir := flag.String("outdir", "", "write reduced bug-triggering formulas here")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign here")
+	memprofile := flag.String("memprofile", "", "write an allocation profile here at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var logics []gen.Logic
 	if *logicsFlag != "" {
@@ -74,6 +93,20 @@ func main() {
 			b.Kind, b.Defect, b.Logic, b.Oracle, b.Observed, entry.Description)
 		if *outdir != "" {
 			writeReduced(*outdir, b)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -48,18 +48,27 @@ func (wellSortedPass) Analyze(s *smtlib.Script, _ *FusionMeta) []Diagnostic {
 		if !ok {
 			continue
 		}
-		path := fmt.Sprintf("define-fun %s", df.Name)
-		if df.Body.Sort() != df.Result {
-			report(path, "body has sort %v, declared result is %v", df.Body.Sort(), df.Result)
-		}
 		bound := map[string]ast.Sort{}
 		for _, p := range df.Params {
 			bound[p.Name] = p.Sort
+		}
+		if df.Body.Sort() == df.Result && termSortsClean(df.Body, decls, bound) {
+			continue
+		}
+		path := fmt.Sprintf("define-fun %s", df.Name)
+		if df.Body.Sort() != df.Result {
+			report(path, "body has sort %v, declared result is %v", df.Body.Sort(), df.Result)
 		}
 		checkTermSorts(df.Body, path+".body", decls, bound, report)
 	}
 
 	for i, a := range s.Asserts() {
+		// Fast pre-check: a clean term (the overwhelmingly common case)
+		// is verified without building any per-node path strings; only
+		// a failing term takes the message-producing walk.
+		if a.Sort() == ast.SortBool && termSortsClean(a, decls, nil) {
+			continue
+		}
 		path := fmt.Sprintf("assert[%d]", i)
 		if a.Sort() != ast.SortBool {
 			report(path, "asserted term has sort %v, want Bool", a.Sort())
@@ -67,6 +76,42 @@ func (wellSortedPass) Analyze(s *smtlib.Script, _ *FusionMeta) []Diagnostic {
 		checkTermSorts(a, path, decls, nil, report)
 	}
 	return out
+}
+
+// termSortsClean reports whether checkTermSorts would produce no
+// diagnostics for t, without allocating diagnostic context.
+func termSortsClean(t ast.Term, decls, bound map[string]ast.Sort) bool {
+	switch n := t.(type) {
+	case *ast.Var:
+		if bs, ok := bound[n.Name]; ok {
+			return bs == n.VSort
+		}
+		ds, ok := decls[n.Name]
+		return ok && ds == n.VSort
+	case *ast.App:
+		recomputed, err := ast.NewApp(n.Op, n.Args...)
+		if err != nil || recomputed.Sort() != n.Sort() {
+			return false
+		}
+		for _, a := range n.Args {
+			if !termSortsClean(a, decls, bound) {
+				return false
+			}
+		}
+	case *ast.Quant:
+		if len(n.Bound) == 0 || n.Body.Sort() != ast.SortBool {
+			return false
+		}
+		inner := make(map[string]ast.Sort, len(bound)+len(n.Bound))
+		for k, v := range bound {
+			inner[k] = v
+		}
+		for _, sv := range n.Bound {
+			inner[sv.Name] = sv.Sort
+		}
+		return termSortsClean(n.Body, decls, inner)
+	}
+	return true
 }
 
 // checkTermSorts walks t, re-deriving every application's sort and

@@ -1,0 +1,428 @@
+package ast
+
+import (
+	"math/big"
+	"sync"
+	"weak"
+)
+
+// Hash-consing / term interning.
+//
+// Every constructor in this package routes through the intern tables
+// below, so structurally equal terms are represented by one shared
+// node: structural equality implies pointer equality for all
+// simultaneously-live terms built through the public constructors.
+// Each interned node caches its structural hash (and App nodes already
+// cache their sort), so the hot paths — generator, fusion engine,
+// solver preprocessing, printing — never re-walk a subtree to compare,
+// hash, or key it: a live term IS its identity and can be used directly
+// as a map key.
+//
+// The tables hold weak pointers. A fuzzing campaign churns through
+// fresh variable names (rename-apart, skolemization) by the million, so
+// a strong table would grow the live heap without bound and drown the
+// run in GC mark work. Weak entries let dead terms be collected; dead
+// entries are swept out amortized (each shard sweeps after doubling),
+// keeping table memory proportional to the live term set. The guarantee
+// that matters for determinism is unaffected: while a term is
+// reachable, every structurally equal construction returns that same
+// node, because a reachable term's entry never reports nil.
+//
+// The tables are sharded and mutex-protected, so concurrent campaign
+// workers intern safely; a lookup that races an insert of the same
+// structure returns the single winning node.
+
+const internShardCount = 64
+
+// internShard is one lock's worth of a per-kind intern table.
+type internShard[T any] struct {
+	mu      sync.Mutex
+	buckets map[uint64][]weak.Pointer[T]
+	size    int // entries stored, live or dead
+	sweepAt int
+}
+
+func (sh *internShard[T]) bucket(h uint64) []weak.Pointer[T] {
+	return sh.buckets[h]
+}
+
+// compact drops the dead entries discovered during a bucket scan, so a
+// bucket is cleaned on the first lookup after its terms die instead of
+// waiting for the next shard-wide sweep. keep is the scanned bucket
+// with live entries compacted to the front.
+func (sh *internShard[T]) compact(h uint64, keep []weak.Pointer[T], scanned int) {
+	if len(keep) == scanned {
+		return
+	}
+	sh.size -= scanned - len(keep)
+	if len(keep) == 0 {
+		delete(sh.buckets, h)
+	} else {
+		sh.buckets[h] = keep
+	}
+}
+
+// insert adds a freshly built node under h, sweeping dead entries when
+// the shard has doubled since the last sweep.
+func (sh *internShard[T]) insert(h uint64, p *T) {
+	if sh.buckets == nil {
+		sh.buckets = make(map[uint64][]weak.Pointer[T])
+	}
+	sh.buckets[h] = append(sh.buckets[h], weak.Make(p))
+	sh.size++
+	if sh.size > sh.sweepAt {
+		sh.sweep()
+	}
+}
+
+func (sh *internShard[T]) sweep() {
+	live := 0
+	for h, bucket := range sh.buckets {
+		out := bucket[:0]
+		for _, wp := range bucket {
+			if wp.Value() != nil {
+				out = append(out, wp)
+			}
+		}
+		if len(out) == 0 {
+			delete(sh.buckets, h)
+		} else {
+			sh.buckets[h] = out
+			live += len(out)
+		}
+	}
+	sh.size = live
+	sh.sweepAt = 2 * live
+	if sh.sweepAt < 512 {
+		sh.sweepAt = 512
+	}
+}
+
+var (
+	varTable   [internShardCount]internShard[Var]
+	intTable   [internShardCount]internShard[IntLit]
+	realTable  [internShardCount]internShard[RealLit]
+	strTable   [internShardCount]internShard[StrLit]
+	appTable   [internShardCount]internShard[App]
+	quantTable [internShardCount]internShard[Quant]
+)
+
+// FNV-1a, with a per-kind seed byte so leaves of different kinds with
+// equal payloads (e.g. the variable "a" and the string literal "a")
+// hash apart.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+const (
+	kindVar byte = iota + 1
+	kindBool
+	kindInt
+	kindReal
+	kindStr
+	kindApp
+	kindQuant
+)
+
+func hashKind(k byte) uint64 { return (fnvOffset ^ uint64(k)) * fnvPrime }
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// nonzero reserves 0 as the "hash not yet computed" sentinel stored in
+// node hash fields.
+func nonzero(h uint64) uint64 {
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+func hashVar(name string, sort Sort) uint64 {
+	return nonzero(hashUint64(hashString(hashKind(kindVar), name), uint64(sort)))
+}
+
+func hashBigInt(h uint64, v *big.Int) uint64 {
+	h = hashUint64(h, uint64(int64(v.Sign())))
+	for _, w := range v.Bits() {
+		h = hashUint64(h, uint64(w))
+	}
+	return h
+}
+
+func hashInt(v *big.Int) uint64 {
+	return nonzero(hashBigInt(hashKind(kindInt), v))
+}
+
+func hashRat(v *big.Rat) uint64 {
+	h := hashBigInt(hashKind(kindReal), v.Num())
+	return nonzero(hashBigInt(h, v.Denom()))
+}
+
+func hashStr(v string) uint64 {
+	return nonzero(hashString(hashKind(kindStr), v))
+}
+
+// hashApp deliberately excludes the result sort: Equal ignores App
+// sorts, and the hash must never separate terms Equal considers the
+// same. internApp compares sorts explicitly instead.
+func hashApp(op Op, args []Term) uint64 {
+	h := hashUint64(hashKind(kindApp), uint64(op))
+	for _, a := range args {
+		h = hashUint64(h, Hash(a))
+	}
+	return nonzero(h)
+}
+
+func hashQuant(forall bool, bound []SortedVar, body Term) uint64 {
+	h := hashKind(kindQuant)
+	if forall {
+		h = hashUint64(h, 1)
+	} else {
+		h = hashUint64(h, 2)
+	}
+	for _, b := range bound {
+		h = hashString(h, b.Name)
+		h = hashUint64(h, uint64(b.Sort))
+	}
+	return nonzero(hashUint64(h, Hash(body)))
+}
+
+// Hash returns the term's structural hash. Interned nodes carry it
+// precomputed; terms forged outside the constructors are hashed on the
+// fly (and never cached, so concurrent use stays race-free).
+func Hash(t Term) uint64 {
+	switch n := t.(type) {
+	case *Var:
+		if n.hash != 0 {
+			return n.hash
+		}
+		return hashVar(n.Name, n.VSort)
+	case *BoolLit:
+		if n.V {
+			return nonzero(hashUint64(hashKind(kindBool), 1))
+		}
+		return nonzero(hashUint64(hashKind(kindBool), 2))
+	case *IntLit:
+		if n.hash != 0 {
+			return n.hash
+		}
+		return hashInt(n.V)
+	case *RealLit:
+		if n.hash != 0 {
+			return n.hash
+		}
+		return hashRat(n.V)
+	case *StrLit:
+		if n.hash != 0 {
+			return n.hash
+		}
+		return hashStr(n.V)
+	case *App:
+		if n.hash != 0 {
+			return n.hash
+		}
+		return hashApp(n.Op, n.Args)
+	case *Quant:
+		if n.hash != 0 {
+			return n.hash
+		}
+		return hashQuant(n.Forall, n.Bound, n.Body)
+	default:
+		return nonzero(hashKind(0))
+	}
+}
+
+func internVar(name string, sort Sort) *Var {
+	h := hashVar(name, sort)
+	sh := &varTable[h&(internShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.bucket(h)
+	keep := bucket[:0]
+	var found *Var
+	for _, wp := range bucket {
+		v := wp.Value()
+		if v == nil {
+			continue
+		}
+		keep = append(keep, wp)
+		if found == nil && v.Name == name && v.VSort == sort {
+			found = v
+		}
+	}
+	sh.compact(h, keep, len(bucket))
+	if found != nil {
+		return found
+	}
+	v := &Var{Name: name, VSort: sort, hash: h}
+	sh.insert(h, v)
+	return v
+}
+
+func internInt(val *big.Int) *IntLit {
+	h := hashInt(val)
+	sh := &intTable[h&(internShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.bucket(h)
+	keep := bucket[:0]
+	var found *IntLit
+	for _, wp := range bucket {
+		l := wp.Value()
+		if l == nil {
+			continue
+		}
+		keep = append(keep, wp)
+		if found == nil && l.V.Cmp(val) == 0 {
+			found = l
+		}
+	}
+	sh.compact(h, keep, len(bucket))
+	if found != nil {
+		return found
+	}
+	l := &IntLit{V: val, hash: h}
+	sh.insert(h, l)
+	return l
+}
+
+func internRat(val *big.Rat) *RealLit {
+	h := hashRat(val)
+	sh := &realTable[h&(internShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.bucket(h)
+	keep := bucket[:0]
+	var found *RealLit
+	for _, wp := range bucket {
+		l := wp.Value()
+		if l == nil {
+			continue
+		}
+		keep = append(keep, wp)
+		if found == nil && l.V.Cmp(val) == 0 {
+			found = l
+		}
+	}
+	sh.compact(h, keep, len(bucket))
+	if found != nil {
+		return found
+	}
+	l := &RealLit{V: val, hash: h}
+	sh.insert(h, l)
+	return l
+}
+
+func internStr(val string) *StrLit {
+	h := hashStr(val)
+	sh := &strTable[h&(internShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.bucket(h)
+	keep := bucket[:0]
+	var found *StrLit
+	for _, wp := range bucket {
+		l := wp.Value()
+		if l == nil {
+			continue
+		}
+		keep = append(keep, wp)
+		if found == nil && l.V == val {
+			found = l
+		}
+	}
+	sh.compact(h, keep, len(bucket))
+	if found != nil {
+		return found
+	}
+	l := &StrLit{V: val, hash: h}
+	sh.insert(h, l)
+	return l
+}
+
+// internApp hash-conses an application. Children built through this
+// package are themselves interned, so the structural comparison is one
+// pointer comparison per argument. The sort is part of the match (but
+// not the hash), which keeps UncheckedApp forgeries (negative tests)
+// from colliding with well-sorted nodes of the same shape.
+func internApp(op Op, sort Sort, args []Term) *App {
+	h := hashApp(op, args)
+	sh := &appTable[h&(internShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.bucket(h)
+	keep := bucket[:0]
+	var found *App
+scan:
+	for _, wp := range bucket {
+		a := wp.Value()
+		if a == nil {
+			continue
+		}
+		keep = append(keep, wp)
+		if found != nil || a.Op != op || a.sort != sort || len(a.Args) != len(args) {
+			continue
+		}
+		for i := range args {
+			if a.Args[i] != args[i] {
+				continue scan
+			}
+		}
+		found = a
+	}
+	sh.compact(h, keep, len(bucket))
+	if found != nil {
+		return found
+	}
+	a := &App{Op: op, Args: args, sort: sort, hash: h}
+	sh.insert(h, a)
+	return a
+}
+
+func internQuant(forall bool, bound []SortedVar, body Term) *Quant {
+	h := hashQuant(forall, bound, body)
+	sh := &quantTable[h&(internShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.bucket(h)
+	keep := bucket[:0]
+	var found *Quant
+scan:
+	for _, wp := range bucket {
+		q := wp.Value()
+		if q == nil {
+			continue
+		}
+		keep = append(keep, wp)
+		if found != nil || q.Forall != forall || len(q.Bound) != len(bound) || q.Body != body {
+			continue
+		}
+		for i := range bound {
+			if q.Bound[i] != bound[i] {
+				continue scan
+			}
+		}
+		found = q
+	}
+	sh.compact(h, keep, len(bucket))
+	if found != nil {
+		return found
+	}
+	q := &Quant{Forall: forall, Bound: bound, Body: body, hash: h}
+	sh.insert(h, q)
+	return q
+}

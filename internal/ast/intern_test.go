@@ -1,0 +1,152 @@
+package ast
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// Structural equality must imply pointer equality for every constructor.
+func TestInternPointerEquality(t *testing.T) {
+	x1, x2 := NewVar("x", SortInt), NewVar("x", SortInt)
+	if x1 != x2 {
+		t.Errorf("NewVar not interned: %p vs %p", x1, x2)
+	}
+	if NewVar("x", SortReal) == x1 {
+		t.Errorf("vars of different sorts interned together")
+	}
+
+	if Int(42) != Int(42) {
+		t.Errorf("Int not interned")
+	}
+	if IntBig(big.NewInt(42)) != Int(42) {
+		t.Errorf("IntBig and Int of same value not shared")
+	}
+	if Int(42) == Int(43) {
+		t.Errorf("distinct ints interned together")
+	}
+
+	if Real(1, 2) != Real(2, 4) {
+		t.Errorf("equal rationals (after normalization) not shared")
+	}
+	if Real(1, 2) == Real(1, 3) {
+		t.Errorf("distinct rationals interned together")
+	}
+
+	if Str("ab") != Str("ab") {
+		t.Errorf("Str not interned")
+	}
+
+	a1 := MustApp(OpAdd, x1, Int(1))
+	a2 := MustApp(OpAdd, NewVar("x", SortInt), Int(1))
+	if a1 != a2 {
+		t.Errorf("structurally equal apps not shared")
+	}
+	if MustApp(OpAdd, x1, Int(2)) == a1 {
+		t.Errorf("distinct apps interned together")
+	}
+
+	q1 := MustQuant(true, []SortedVar{{Name: "y", Sort: SortInt}}, Eq(NewVar("y", SortInt), Int(0)))
+	q2 := MustQuant(true, []SortedVar{{Name: "y", Sort: SortInt}}, Eq(NewVar("y", SortInt), Int(0)))
+	if q1 != q2 {
+		t.Errorf("structurally equal quantifiers not shared")
+	}
+	if MustQuant(false, q1.Bound, q1.Body) == q1 {
+		t.Errorf("forall and exists interned together")
+	}
+}
+
+// Rebuilding a term through transformations must return the original
+// node when nothing changed, and the identical interned node when the
+// same structure is rebuilt from scratch.
+func TestInternTransformIdentity(t *testing.T) {
+	x := NewVar("x", SortInt)
+	orig := And(Le(Int(0), x), Lt(x, Int(10)))
+	rebuilt := And(Le(Int(0), NewVar("x", SortInt)), Lt(NewVar("x", SortInt), Int(10)))
+	if orig != rebuilt {
+		t.Fatalf("rebuilt term is a distinct node")
+	}
+	same := Transform(orig, func(t Term) Term { return t })
+	if same != orig {
+		t.Fatalf("identity Transform returned a distinct node")
+	}
+}
+
+// UncheckedApp forgeries must not alias well-sorted nodes of the same
+// shape (the result sort is part of the intern key), while equal
+// forgeries still share a node.
+func TestInternUncheckedAppSortIsolation(t *testing.T) {
+	good := MustApp(OpAdd, Int(1), Int(2))
+	forged := UncheckedApp(OpAdd, SortBool, Int(1), Int(2))
+	if Term(good) == Term(forged) {
+		t.Fatalf("ill-sorted forgery aliased the well-sorted node")
+	}
+	if forged.Sort() != SortBool {
+		t.Fatalf("forged sort lost: got %v", forged.Sort())
+	}
+	if good.(*App).Sort() != SortInt {
+		t.Fatalf("well-sorted node corrupted: got %v", good.(*App).Sort())
+	}
+	if UncheckedApp(OpAdd, SortBool, Int(1), Int(2)) != forged {
+		t.Fatalf("equal forgeries not shared")
+	}
+}
+
+// Hash must agree with Equal: equal terms hash equal, and the cached
+// hash matches a fresh recomputation on an uncached clone.
+func TestHashConsistentWithEqual(t *testing.T) {
+	x := NewVar("x", SortInt)
+	terms := []Term{
+		x, True, False, Int(-7), Real(3, 4), Str("s"),
+		MustApp(OpAdd, x, Int(1)),
+		MustQuant(false, []SortedVar{{Name: "z", Sort: SortReal}}, Eq(NewVar("z", SortReal), Real(0, 1))),
+	}
+	for _, tm := range terms {
+		if Hash(tm) == 0 {
+			t.Errorf("zero hash for %s", Print(tm))
+		}
+	}
+	// A forged uncached clone of an interned app must hash identically.
+	a := MustApp(OpAdd, x, Int(1)).(*App)
+	clone := &App{Op: a.Op, Args: a.Args, sort: a.sort}
+	if Hash(clone) != Hash(a) {
+		t.Errorf("uncached clone hash differs from interned hash")
+	}
+	if !Equal(clone, a) {
+		t.Errorf("Equal rejects uncached clone")
+	}
+	// Sort is excluded from the hash because Equal ignores App sorts.
+	forged := &App{Op: a.Op, Args: a.Args, sort: SortBool}
+	if Hash(forged) != Hash(a) {
+		t.Errorf("hash separates terms Equal considers the same")
+	}
+}
+
+// Concurrent construction of overlapping terms must converge on single
+// nodes without races (run under -race).
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 16
+	results := make([][]Term, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Term, 0, 64)
+			for i := 0; i < 64; i++ {
+				v := NewVar(fmt.Sprintf("v%d", i%8), SortInt)
+				out = append(out, And(Le(Int(int64(i%4)), v), Lt(v, Int(100))))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d produced a distinct node for term %d", g, i)
+			}
+		}
+	}
+}

@@ -4,15 +4,22 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+	"sync"
 )
+
+var builderPool = sync.Pool{New: func() any { return new(strings.Builder) }}
 
 // Print returns the canonical SMT-LIB rendering of the term. The output
 // parses back to a structurally equal term (given matching declarations),
-// which also makes it usable as a structural hash key.
+// which also makes it usable as a structural hash key. Builders are
+// pooled: rendering in a hot loop does not grow a fresh buffer per call.
 func Print(t Term) string {
-	var b strings.Builder
-	printTerm(&b, t)
-	return b.String()
+	b := builderPool.Get().(*strings.Builder)
+	b.Reset()
+	printTerm(b, t)
+	s := b.String()
+	builderPool.Put(b)
+	return s
 }
 
 func printTerm(b *strings.Builder, t Term) {
@@ -151,9 +158,17 @@ func printStringLit(b *strings.Builder, s string) {
 // compare by value; bound-variable names compare literally (terms are
 // produced by shared constructors, so alpha-variant trees are compared
 // as distinct, which is the behaviour dedup and caching want).
+//
+// Interned terms (everything built through this package's constructors)
+// make this a pointer comparison; the structural walk below only runs
+// for terms forged outside the constructors, and short-circuits on the
+// cached structural hash.
 func Equal(a, b Term) bool {
 	if a == b {
 		return true
+	}
+	if Hash(a) != Hash(b) {
+		return false
 	}
 	switch x := a.(type) {
 	case *Var:

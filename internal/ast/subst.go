@@ -9,31 +9,75 @@ import (
 // first-occurrence order. Quantifier-bound occurrences are excluded.
 func FreeVars(t Term) []*Var {
 	var out []*Var
-	seen := map[string]bool{}
-	collectFree(t, map[string]int{}, seen, &out)
+	collectFree(t, nil, &out)
 	return out
 }
 
-func collectFree(t Term, bound map[string]int, seen map[string]bool, out *[]*Var) {
+// collectFree appends free variables to out. Deduplication scans out
+// directly (free-variable sets are small), and the bound map is only
+// allocated once a quantifier is reached, so the dominant
+// quantifier-free case allocates nothing beyond the result slice.
+func collectFree(t Term, bound map[string]int, out *[]*Var) {
 	switch n := t.(type) {
 	case *Var:
-		if bound[n.Name] == 0 && !seen[n.Name] {
-			seen[n.Name] = true
-			*out = append(*out, n)
+		if bound[n.Name] != 0 {
+			return
 		}
+		for _, v := range *out {
+			if v.Name == n.Name {
+				return
+			}
+		}
+		*out = append(*out, n)
 	case *App:
 		for _, a := range n.Args {
-			collectFree(a, bound, seen, out)
+			collectFree(a, bound, out)
 		}
 	case *Quant:
+		if bound == nil {
+			bound = map[string]int{}
+		}
 		for _, b := range n.Bound {
 			bound[b.Name]++
 		}
-		collectFree(n.Body, bound, seen, out)
+		collectFree(n.Body, bound, out)
 		for _, b := range n.Bound {
 			bound[b.Name]--
 		}
 	}
+}
+
+// HasFreeVars reports whether t contains at least one free variable,
+// without materializing the set (and, for quantifier-free terms,
+// without allocating).
+func HasFreeVars(t Term) bool {
+	return hasFree(t, nil)
+}
+
+func hasFree(t Term, bound map[string]int) bool {
+	switch n := t.(type) {
+	case *Var:
+		return bound[n.Name] == 0
+	case *App:
+		for _, a := range n.Args {
+			if hasFree(a, bound) {
+				return true
+			}
+		}
+	case *Quant:
+		if bound == nil {
+			bound = map[string]int{}
+		}
+		for _, b := range n.Bound {
+			bound[b.Name]++
+		}
+		free := hasFree(n.Body, bound)
+		for _, b := range n.Bound {
+			bound[b.Name]--
+		}
+		return free
+	}
+	return false
 }
 
 // FreeVarsByName returns the free variables of t keyed by name.
@@ -196,7 +240,7 @@ func (s *substituter) subst(t Term, bound map[string]int) Term {
 		if body == n.Body {
 			return t
 		}
-		return &Quant{Forall: n.Forall, Bound: n.Bound, Body: body}
+		return internQuant(n.Forall, n.Bound, body)
 	default:
 		return t
 	}

@@ -18,13 +18,14 @@ type Term interface {
 type Var struct {
 	Name  string
 	VSort Sort
+	hash  uint64
 }
 
 func (v *Var) Sort() Sort { return v.VSort }
 func (*Var) aTerm()       {}
 
-// NewVar returns a variable term.
-func NewVar(name string, sort Sort) *Var { return &Var{Name: name, VSort: sort} }
+// NewVar returns the interned variable term for (name, sort).
+func NewVar(name string, sort Sort) *Var { return internVar(name, sort) }
 
 // BoolLit is a boolean literal (true or false).
 type BoolLit struct{ V bool }
@@ -47,44 +48,56 @@ func Bool(b bool) *BoolLit {
 }
 
 // IntLit is an arbitrary-precision integer literal.
-type IntLit struct{ V *big.Int }
+type IntLit struct {
+	V    *big.Int
+	hash uint64
+}
 
 func (*IntLit) Sort() Sort { return SortInt }
 func (*IntLit) aTerm()     {}
 
-// Int returns an Int literal for v.
-func Int(v int64) *IntLit { return &IntLit{V: big.NewInt(v)} }
+// Int returns the interned Int literal for v.
+func Int(v int64) *IntLit { return internInt(big.NewInt(v)) }
 
-// IntBig returns an Int literal for the given big integer (not copied).
-func IntBig(v *big.Int) *IntLit { return &IntLit{V: v} }
+// IntBig returns the interned Int literal for the given big integer.
+// The value is not copied and must not be mutated afterwards.
+func IntBig(v *big.Int) *IntLit { return internInt(v) }
 
 // RealLit is an exact rational literal.
-type RealLit struct{ V *big.Rat }
+type RealLit struct {
+	V    *big.Rat
+	hash uint64
+}
 
 func (*RealLit) Sort() Sort { return SortReal }
 func (*RealLit) aTerm()     {}
 
-// Real returns a Real literal for num/den.
-func Real(num, den int64) *RealLit { return &RealLit{V: big.NewRat(num, den)} }
+// Real returns the interned Real literal for num/den.
+func Real(num, den int64) *RealLit { return internRat(big.NewRat(num, den)) }
 
-// RealBig returns a Real literal for the given rational (not copied).
-func RealBig(v *big.Rat) *RealLit { return &RealLit{V: v} }
+// RealBig returns the interned Real literal for the given rational.
+// The value is not copied and must not be mutated afterwards.
+func RealBig(v *big.Rat) *RealLit { return internRat(v) }
 
 // StrLit is a string literal. The value is the already-unescaped Go
 // string; printing re-applies SMT-LIB escaping.
-type StrLit struct{ V string }
+type StrLit struct {
+	V    string
+	hash uint64
+}
 
 func (*StrLit) Sort() Sort { return SortString }
 func (*StrLit) aTerm()     {}
 
-// Str returns a String literal for v.
-func Str(v string) *StrLit { return &StrLit{V: v} }
+// Str returns the interned String literal for v.
+func Str(v string) *StrLit { return internStr(v) }
 
 // App is the application of a builtin operator to arguments.
 type App struct {
 	Op   Op
 	Args []Term
 	sort Sort
+	hash uint64
 }
 
 func (a *App) Sort() Sort { return a.sort }
@@ -101,12 +114,13 @@ type Quant struct {
 	Forall bool
 	Bound  []SortedVar
 	Body   Term
+	hash   uint64
 }
 
 func (*Quant) Sort() Sort { return SortBool }
 func (*Quant) aTerm()     {}
 
-// NewQuant builds a quantifier. The body must be boolean.
+// NewQuant builds an interned quantifier. The body must be boolean.
 func NewQuant(forall bool, bound []SortedVar, body Term) (*Quant, error) {
 	if body.Sort() != SortBool {
 		return nil, fmt.Errorf("quantifier body has sort %v, want Bool", body.Sort())
@@ -114,7 +128,18 @@ func NewQuant(forall bool, bound []SortedVar, body Term) (*Quant, error) {
 	if len(bound) == 0 {
 		return nil, fmt.Errorf("quantifier with empty binder list")
 	}
-	return &Quant{Forall: forall, Bound: bound, Body: body}, nil
+	return internQuant(forall, bound, body), nil
+}
+
+// MustQuant is NewQuant, panicking on error. It is intended for
+// reconstruction of quantifiers whose pieces come from an existing
+// well-formed quantifier (transformations, solver preprocessing).
+func MustQuant(forall bool, bound []SortedVar, body Term) *Quant {
+	q, err := NewQuant(forall, bound, body)
+	if err != nil {
+		panic(err)
+	}
+	return q
 }
 
 // NewApp builds a well-sorted application of op to args, reporting an
@@ -132,7 +157,7 @@ func NewApp(op Op, args ...Term) (Term, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", info.name, err)
 	}
-	return &App{Op: op, Args: args, sort: sort}, nil
+	return internApp(op, sort, args), nil
 }
 
 // MustApp is NewApp, panicking on typing errors. It is intended for
@@ -150,8 +175,10 @@ func MustApp(op Op, args ...Term) Term {
 // result sort, bypassing the operator's typing rule. All production
 // construction goes through NewApp; this exists so negative tests (and
 // the static analyzer's own test suite) can forge ill-sorted terms.
+// The result sort is part of the intern key, so a forged node never
+// aliases a well-sorted node of the same shape.
 func UncheckedApp(op Op, sort Sort, args ...Term) *App {
-	return &App{Op: op, Args: args, sort: sort}
+	return internApp(op, sort, args)
 }
 
 func arityString(info *opInfo) string {

@@ -42,7 +42,7 @@ func Transform(t Term, fn func(Term) Term) Term {
 	case *Quant:
 		body := Transform(n.Body, fn)
 		if body != n.Body {
-			t = &Quant{Forall: n.Forall, Bound: n.Bound, Body: body}
+			t = internQuant(n.Forall, n.Bound, body)
 		}
 	}
 	return fn(t)

@@ -1,0 +1,147 @@
+// Package benchmarks holds the benchmark bodies shared between the
+// repository's `go test -bench` suite (bench_test.go) and cmd/bench,
+// the benchmark-regression harness. cmd/bench drives these through
+// testing.Benchmark to produce BENCH_<n>.json perf-trajectory files;
+// keeping one body per workload guarantees both paths measure the same
+// thing.
+package benchmarks
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bugdb"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+// ThroughputSingleThreaded measures end-to-end fused tests per second
+// in single-threaded mode — the paper reports 41.5 tests/s. ns/op here
+// is the cost of ONE fused test (generate pair + fuse + solve), so
+// tests/s = 1e9 / (ns/op).
+func ThroughputSingleThreaded(b *testing.B) {
+	b.ReportAllocs()
+	g, err := gen.New(gen.QFLIA, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sat, unsat []*core.Seed
+	for i := 0; i < 10; i++ {
+		sat = append(sat, g.Sat())
+		unsat = append(unsat, g.Unsat())
+	}
+	sut := bugdb.NewTrunkSolver(bugdb.Z3Sim, nil)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := sat
+		if i%2 == 1 {
+			pool = unsat
+		}
+		fused, err := core.Fuse(pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], rng, core.Options{})
+		if err != nil {
+			continue
+		}
+		harness.RunSolver(sut, fused.Script)
+	}
+}
+
+// Fig8Campaign runs the (scaled) main bug-finding campaign of Figures
+// 8a–8c against both trunk SUTs.
+func Fig8Campaign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := harness.ExperimentFig8(harness.CampaignBudget{
+			Iterations: 40, SeedPool: 10, Seed: int64(i + 1), Threads: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Z3.Bugs) == 0 {
+			b.Fatal("campaign found no z3sim bugs")
+		}
+	}
+}
+
+// FusionOnly isolates the fusion engine's cost (Algorithm 2 without the
+// solver).
+func FusionOnly(b *testing.B) {
+	b.ReportAllocs()
+	g, err := gen.New(gen.QFNRA, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seeds []*core.Seed
+	for i := 0; i < 10; i++ {
+		seeds = append(seeds, g.Sat())
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fuse(seeds[i%10], seeds[(i+3)%10], rng, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SolverReference measures the reference solver on a fixed mix of
+// generated formulas across logics.
+func SolverReference(b *testing.B) {
+	b.ReportAllocs()
+	var scripts []*smtlib.Script
+	for _, logic := range []gen.Logic{gen.QFLIA, gen.QFLRA, gen.QFNRA, gen.QFS} {
+		g, err := gen.New(logic, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			scripts = append(scripts, g.Sat().Script, g.Unsat().Script)
+		}
+	}
+	s := solver.NewReference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harness.RunSolver(s, scripts[i%len(scripts)])
+	}
+}
+
+// ParsePrint measures the SMT-LIB front end round trip.
+func ParsePrint(b *testing.B) {
+	b.ReportAllocs()
+	g, err := gen.New(gen.QFSLIA, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := smtlib.Print(g.Sat().Script)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := smtlib.ParseScript(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if smtlib.Print(sc) == "" {
+			b.Fatal("empty print")
+		}
+	}
+}
+
+// Registry maps the stable benchmark names recorded in BENCH_<n>.json
+// to their bodies. Fast reports whether the benchmark is cheap enough
+// for CI short mode (seconds, not half a minute, per op).
+type Entry struct {
+	Name string
+	Fast bool
+	Fn   func(*testing.B)
+}
+
+// All lists the registry in fixed report order.
+var All = []Entry{
+	{Name: "ThroughputSingleThreaded", Fast: true, Fn: ThroughputSingleThreaded},
+	{Name: "FusionOnly", Fast: true, Fn: FusionOnly},
+	{Name: "SolverReference", Fast: true, Fn: SolverReference},
+	{Name: "ParsePrint", Fast: true, Fn: ParsePrint},
+	{Name: "Fig8Campaign", Fast: false, Fn: Fig8Campaign},
+}

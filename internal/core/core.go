@@ -375,18 +375,18 @@ func declNames(decls []*smtlib.DeclareFun) []string {
 }
 
 // variableDivisors collects the non-literal divisor subterms of the
-// given terms, deduplicated by printed form.
+// given terms, deduplicated by interned term identity (structurally
+// equal divisors are one node).
 func variableDivisors(terms ...ast.Term) []ast.Term {
 	var out []ast.Term
-	seen := map[string]bool{}
+	seen := map[ast.Term]bool{}
 	add := func(d ast.Term) {
 		switch d.(type) {
 		case *ast.IntLit, *ast.RealLit:
 			return
 		}
-		key := ast.Print(d)
-		if !seen[key] {
-			seen[key] = true
+		if !seen[d] {
+			seen[d] = true
 			out = append(out, d)
 		}
 	}

@@ -52,7 +52,7 @@ func ExperimentFig7(scale int) ([]Fig7Row, error) {
 	}
 	var rows []Fig7Row
 	for _, c := range fig7PaperCounts {
-		g, err := gen.New(c.logic, 1234+int64(len(c.logic)))
+		g, err := gen.New(c.logic, logicSeed(1234, c.logic))
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +291,7 @@ func coverageArms(sutName bugdb.SUT, logic gen.Logic, satStatus bool, b Coverage
 	if err != nil {
 		return CoverageCell{}, CoverageCell{}, err
 	}
-	g, err := gen.New(logic, b.Seed+int64(len(logic)))
+	g, err := gen.New(logic, logicSeed(b.Seed, logic))
 	if err != nil {
 		return CoverageCell{}, CoverageCell{}, err
 	}

@@ -129,94 +129,190 @@ func (r *Result) BugByDefect(d solver.Defect) (Bug, bool) {
 	return Bug{}, false
 }
 
-// Run executes the campaign.
-func Run(cfg Campaign) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Threads <= 1 {
-		return runShard(cfg, cfg.Seed)
-	}
-	// Parallel mode: shard iterations across workers with distinct
-	// deterministic streams, then merge.
-	shardCfg := cfg
-	shardCfg.Iterations = (cfg.Iterations + cfg.Threads - 1) / cfg.Threads
-	results := make([]*Result, cfg.Threads)
-	errs := make([]error, cfg.Threads)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			results[w], errs[w] = runShard(shardCfg, cfg.Seed+int64(w)*7919)
-		}(w)
-	}
-	wg.Wait()
-	merged := &Result{}
-	seen := map[solver.Defect]bool{}
-	for w := 0; w < cfg.Threads; w++ {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		r := results[w]
-		merged.Tests += r.Tests
-		merged.Unknowns += r.Unknowns
-		merged.Duplicates += r.Duplicates
-		merged.ReferenceDisagreements += r.ReferenceDisagreements
-		merged.InvalidInputs += r.InvalidInputs
-		for _, b := range r.Bugs {
-			if seen[b.Defect] {
-				merged.Duplicates++
-				continue
-			}
-			seen[b.Defect] = true
-			merged.Bugs = append(merged.Bugs, b)
-		}
-	}
-	sortBugs(merged.Bugs)
-	return merged, nil
+// Deterministic seed derivation. Every random stream in a campaign is
+// keyed by (campaign seed, logic-name hash, role, index) through a
+// splitmix-style finalizer, so pool contents and per-task streams are
+// functions of the configuration alone — never of scheduling, thread
+// count, or execution order. Hashing the logic *name* (rather than its
+// length, as an earlier version did) keeps equal-length logics such as
+// QF_LIA/QF_LRA/QF_NRA on distinct streams.
+const (
+	seedDomainPool uint64 = 0x706f6f6c // "pool"
+	seedDomainTask uint64 = 0x7461736b // "task"
+)
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
-func runShard(cfg Campaign, seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	sut, err := bugdb.NewSolver(cfg.SUT, cfg.Release, nil)
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// logicSeed derives the base stream for a logic within a campaign.
+func logicSeed(seed int64, logic gen.Logic) int64 {
+	return int64(mix64(uint64(seed) ^ hashName(string(logic))))
+}
+
+// poolSeed keys the generator for one corpus slot (a sat or unsat seed
+// position), so vetting can run on any worker in any order.
+func poolSeed(seed int64, logic gen.Logic, slot int, status core.Status) int64 {
+	h := uint64(seed) ^ hashName(string(logic)) ^ seedDomainPool
+	idx := uint64(slot) << 1
+	if status == core.StatusUnsat {
+		idx |= 1
+	}
+	return int64(mix64(mix64(h) + idx*0x9e3779b97f4a7c15))
+}
+
+// taskSeed keys the RNG of one fusion+solve task.
+func taskSeed(seed int64, logic gen.Logic, iter int) int64 {
+	h := uint64(seed) ^ hashName(string(logic)) ^ seedDomainTask
+	return int64(mix64(mix64(h) + uint64(iter)*0x9e3779b97f4a7c15))
+}
+
+// taskOutcome is the raw result of one fusion+solve task, produced by
+// any worker and classified later in deterministic task order.
+type taskOutcome struct {
+	id        int
+	invalid   bool // fusion rejected by the static verification gate
+	tested    bool // a fused script was produced and solved
+	fused     *core.Fused
+	ancestors [2]*core.Seed
+	run       RunResult
+}
+
+// Run executes the campaign as a shared-corpus, work-stealing pipeline:
+//
+//  1. The seed corpus is built once per logic, with solver vetting of
+//     the slots spread across the worker pool. Each slot has its own
+//     generator stream, so the corpus is identical however the vetting
+//     work is scheduled.
+//  2. Fusion+solve tasks — exactly Iterations per logic — are drawn
+//     from a shared queue by workers. Each task seeds its RNG from
+//     (campaign seed, logic, iteration), so its test is a pure function
+//     of the configuration.
+//  3. Outcomes are classified sequentially in task order, making bug
+//     dedup and duplicate counting order-independent.
+//
+// Consequently a campaign's findings are bit-identical for any Threads
+// value: parallelism is a pure speedup, not a different experiment.
+func Run(cfg Campaign) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	// One solver instance per worker: instances are deterministic per
+	// Solve call but not safe for concurrent use.
+	suts := make([]*solver.Solver, cfg.Threads)
+	for w := range suts {
+		sut, err := bugdb.NewSolver(cfg.SUT, cfg.Release, nil)
+		if err != nil {
+			return nil, err
+		}
+		suts[w] = sut
+	}
+
+	pools, err := buildCorpus(cfg, suts)
 	if err != nil {
 		return nil, err
 	}
 
+	total := len(cfg.Logics) * cfg.Iterations
+	taskCh := make(chan int, cfg.Threads)
+	outCh := make(chan taskOutcome, cfg.Threads)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(sut *solver.Solver) {
+			defer wg.Done()
+			for id := range taskCh {
+				outCh <- runTask(cfg, pools, sut, id)
+			}
+		}(suts[w])
+	}
+	go func() {
+		for id := 0; id < total; id++ {
+			taskCh <- id
+		}
+		close(taskCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// In-order classification: outcomes arrive in completion order but
+	// are applied in task order, buffering only the out-of-order window.
 	res := &Result{}
 	found := map[solver.Defect]bool{}
-
-	for _, logic := range cfg.Logics {
-		g, err := gen.New(logic, seed^int64(len(logic))*104729)
-		if err != nil {
-			return nil, err
-		}
-		pool := buildPool(g, cfg.SeedPool, sut)
-		for iter := 0; iter < cfg.Iterations; iter++ {
-			oracle := core.StatusSat
-			if rng.Intn(2) == 1 {
-				oracle = core.StatusUnsat
+	pending := map[int]taskOutcome{}
+	next := 0
+	for out := range outCh {
+		pending[out.id] = out
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
 			}
-			s1, s2 := pool.pick(oracle, rng), pool.pick(oracle, rng)
-			var fused *core.Fused
-			if cfg.ConcatOnly {
-				fused, err = core.Concat(s1, s2, rng)
-			} else {
-				fused, err = core.Fuse(s1, s2, rng, cfg.Fusion)
-			}
-			if err != nil {
-				var ge *analysis.GateError
-				if errors.As(err, &ge) {
-					res.InvalidInputs++
-				}
-				continue // no fusable pair: skip this pair
-			}
-			res.Tests++
-			run := RunSolver(sut, fused.Script)
-			classify(res, found, cfg, logic, fused, [2]*core.Seed{s1, s2}, run)
+			delete(pending, next)
+			next++
+			applyOutcome(res, found, cfg, cur)
 		}
 	}
 	sortBugs(res.Bugs)
 	return res, nil
+}
+
+// runTask executes one fusion+solve task. Everything random in the task
+// flows from its own deterministic RNG.
+func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOutcome {
+	logicIdx, iter := id/cfg.Iterations, id%cfg.Iterations
+	logic := cfg.Logics[logicIdx]
+	rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, logic, iter)))
+	oracle := core.StatusSat
+	if rng.Intn(2) == 1 {
+		oracle = core.StatusUnsat
+	}
+	pool := pools[logicIdx]
+	s1, s2 := pool.pick(oracle, rng), pool.pick(oracle, rng)
+	var fused *core.Fused
+	var err error
+	if cfg.ConcatOnly {
+		fused, err = core.Concat(s1, s2, rng)
+	} else {
+		fused, err = core.Fuse(s1, s2, rng, cfg.Fusion)
+	}
+	if err != nil {
+		var ge *analysis.GateError
+		return taskOutcome{id: id, invalid: errors.As(err, &ge)}
+	}
+	return taskOutcome{
+		id:        id,
+		tested:    true,
+		fused:     fused,
+		ancestors: [2]*core.Seed{s1, s2},
+		run:       RunSolver(sut, fused.Script),
+	}
+}
+
+func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, out taskOutcome) {
+	if out.invalid {
+		res.InvalidInputs++
+		return
+	}
+	if !out.tested {
+		return // no fusable pair: skip
+	}
+	res.Tests++
+	logic := cfg.Logics[out.id/cfg.Iterations]
+	classify(res, found, cfg, logic, out.fused, out.ancestors, out.run)
 }
 
 // classify implements the incorrects/crashes bookkeeping of
@@ -298,36 +394,96 @@ type seedPool struct {
 	unsat []*core.Seed
 }
 
-// buildPool generates the seed corpus. Mirroring the paper's setup —
-// the SMT-LIB benchmarks "are unlikely to trigger bugs in Z3 and CVC4
-// since they have already been run on them" — seeds on which the solver
-// under test misbehaves (wrong result or crash) are discarded and
-// regenerated, so every finding requires combining seeds.
-func buildPool(g *gen.Generator, n int, sut *solver.Solver) *seedPool {
-	p := &seedPool{}
-	vetted := func(status core.Status) *core.Seed {
-		for try := 0; try < 10; try++ {
-			s := g.Generate(status)
-			if sut == nil {
-				return s
-			}
-			run := RunSolver(sut, s.Script)
-			if run.Crashed {
-				continue
-			}
-			if run.Result != solver.ResUnknown &&
-				(run.Result == solver.ResSat) != (status == core.StatusSat) {
-				continue
-			}
-			return s
+// buildCorpus generates the shared seed corpus, one pool per logic,
+// exactly once per campaign. Mirroring the paper's setup — the SMT-LIB
+// benchmarks "are unlikely to trigger bugs in Z3 and CVC4 since they
+// have already been run on them" — seeds on which the solver under test
+// misbehaves (wrong result or crash) are discarded and regenerated, so
+// every finding requires combining seeds.
+//
+// Vetting (the expensive part: up to 10 solver runs per slot) is spread
+// across the worker pool. Each slot owns a generator stream keyed by
+// (campaign seed, logic, slot, status), so the resulting corpus does
+// not depend on which worker vets which slot.
+func buildCorpus(cfg Campaign, suts []*solver.Solver) ([]*seedPool, error) {
+	pools := make([]*seedPool, len(cfg.Logics))
+	for i := range pools {
+		pools[i] = &seedPool{
+			sat:   make([]*core.Seed, cfg.SeedPool),
+			unsat: make([]*core.Seed, cfg.SeedPool),
 		}
-		return g.Generate(status)
 	}
-	for i := 0; i < n; i++ {
-		p.sat = append(p.sat, vetted(core.StatusSat))
-		p.unsat = append(p.unsat, vetted(core.StatusUnsat))
+
+	// Job j addresses one slot: (logic, slot index, sat/unsat).
+	perLogic := cfg.SeedPool * 2
+	total := len(cfg.Logics) * perLogic
+	jobs := make(chan int, len(suts))
+	errs := make([]error, len(suts))
+	var wg sync.WaitGroup
+	for w := range suts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sut := suts[w]
+			for j := range jobs {
+				logicIdx := j / perLogic
+				rest := j % perLogic
+				slot := rest >> 1
+				status := core.StatusSat
+				if rest&1 == 1 {
+					status = core.StatusUnsat
+				}
+				s, err := vetSlot(cfg, cfg.Logics[logicIdx], slot, status, sut)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					continue
+				}
+				// Each slot is written by exactly one job: no locking.
+				if status == core.StatusSat {
+					pools[logicIdx].sat[slot] = s
+				} else {
+					pools[logicIdx].unsat[slot] = s
+				}
+			}
+		}(w)
 	}
-	return p
+	for j := 0; j < total; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pools, nil
+}
+
+// vetSlot generates one vetted seed from the slot's own stream.
+func vetSlot(cfg Campaign, logic gen.Logic, slot int, status core.Status, sut *solver.Solver) (*core.Seed, error) {
+	g, err := gen.New(logic, poolSeed(cfg.Seed, logic, slot, status))
+	if err != nil {
+		return nil, err
+	}
+	for try := 0; try < 10; try++ {
+		s := g.Generate(status)
+		if sut == nil {
+			return s, nil
+		}
+		run := RunSolver(sut, s.Script)
+		if run.Crashed {
+			continue
+		}
+		if run.Result != solver.ResUnknown &&
+			(run.Result == solver.ResSat) != (status == core.StatusSat) {
+			continue
+		}
+		return s, nil
+	}
+	return g.Generate(status), nil
 }
 
 func (p *seedPool) pick(status core.Status, rng *rand.Rand) *core.Seed {

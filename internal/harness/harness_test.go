@@ -192,3 +192,86 @@ func TestBugAncestorsRecorded(t *testing.T) {
 		}
 	}
 }
+
+// TestThreadCountInvariance checks the work-stealing engine's central
+// guarantee: a campaign's findings are bit-identical for any Threads
+// value — parallelism is a pure speedup, not a different experiment.
+func TestThreadCountInvariance(t *testing.T) {
+	base := Campaign{
+		SUT:        bugdb.Z3Sim,
+		Logics:     []gen.Logic{gen.QFLIA, gen.QFS},
+		Iterations: shortIters(60),
+		SeedPool:   8,
+		Seed:       42,
+	}
+	threadCounts := []int{1, 2, 4}
+	results := make([]*Result, len(threadCounts))
+	for i, threads := range threadCounts {
+		cfg := base
+		cfg.Threads = threads
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	ref := results[0]
+	if ref.Tests == 0 {
+		t.Fatal("campaign ran no tests")
+	}
+	for i, threads := range threadCounts[1:] {
+		r := results[i+1]
+		if r.Tests != ref.Tests || r.Unknowns != ref.Unknowns ||
+			r.Duplicates != ref.Duplicates ||
+			r.ReferenceDisagreements != ref.ReferenceDisagreements ||
+			r.InvalidInputs != ref.InvalidInputs {
+			t.Errorf("Threads=%d counts differ from Threads=1: %+v vs %+v",
+				threads, summary(r), summary(ref))
+		}
+		if len(r.Bugs) != len(ref.Bugs) {
+			t.Fatalf("Threads=%d found %d bugs, Threads=1 found %d",
+				threads, len(r.Bugs), len(ref.Bugs))
+		}
+		for j := range r.Bugs {
+			a, b := r.Bugs[j], ref.Bugs[j]
+			if a.Defect != b.Defect || a.Kind != b.Kind || a.Logic != b.Logic ||
+				a.Oracle != b.Oracle || a.Observed != b.Observed || a.Mode != b.Mode {
+				t.Errorf("Threads=%d bug %d differs: %+v vs %+v", threads, j, a.Defect, b.Defect)
+			}
+			if a.Script.Text() != b.Script.Text() {
+				t.Errorf("Threads=%d bug %s triggering script differs", threads, a.Defect)
+			}
+		}
+	}
+}
+
+func summary(r *Result) [5]int {
+	return [5]int{r.Tests, r.Unknowns, r.Duplicates, r.ReferenceDisagreements, r.InvalidInputs}
+}
+
+// TestExactIterationCount checks that parallel mode runs exactly
+// Iterations tests per logic (an earlier version rounded shards up, so
+// Threads=4, Iterations=10 silently ran 12). Tests + InvalidInputs +
+// skipped pairs must equal the requested total.
+func TestExactIterationCount(t *testing.T) {
+	res, err := Run(Campaign{
+		SUT:        bugdb.Z3Sim,
+		Logics:     []gen.Logic{gen.QFLIA},
+		Iterations: 10,
+		SeedPool:   4,
+		Seed:       7,
+		Threads:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tests > 10 {
+		t.Errorf("ran %d tests, want at most the requested 10", res.Tests)
+	}
+	if res.Tests+res.InvalidInputs > 10 {
+		t.Errorf("tests+invalid = %d exceeds requested 10", res.Tests+res.InvalidInputs)
+	}
+	if res.Tests == 0 {
+		t.Errorf("no tests ran")
+	}
+}

@@ -3,6 +3,7 @@ package smtlib
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 )
@@ -61,6 +62,9 @@ func (*Exit) aCommand()       {}
 // Script is a parsed SMT-LIB script.
 type Script struct {
 	Commands []Command
+
+	renderOnce sync.Once
+	rendered   string
 }
 
 // Logic returns the declared logic, or "" if none was set.
@@ -138,13 +142,27 @@ func NewScript(logic string, decls []*DeclareFun, asserts []ast.Term) *Script {
 	return s
 }
 
+var builderPool = sync.Pool{New: func() any { return new(strings.Builder) }}
+
 // Print renders the script in SMT-LIB concrete syntax.
 func Print(s *Script) string {
-	var b strings.Builder
+	b := builderPool.Get().(*strings.Builder)
+	b.Reset()
 	for _, c := range s.Commands {
-		printCommand(&b, c)
+		printCommand(b, c)
 	}
-	return b.String()
+	out := b.String()
+	builderPool.Put(b)
+	return out
+}
+
+// Text returns the script's rendering, computed once and cached. Use it
+// for finalized scripts that are rendered repeatedly (seed corpora,
+// campaign reports); a script whose Commands may still change must go
+// through Print. Safe for concurrent use.
+func (s *Script) Text() string {
+	s.renderOnce.Do(func() { s.rendered = Print(s) })
+	return s.rendered
 }
 
 func printCommand(b *strings.Builder, c Command) {

@@ -11,9 +11,11 @@ import (
 // predicates and boolean variables) mapped to SAT variables, with
 // Tseitin auxiliaries for the connectives.
 type abstraction struct {
-	sat      *sat.Solver
-	atomOf   map[string]int // atom print-key → SAT var
-	atomTerm []ast.Term     // SAT var (1-based) → atom term; nil for aux vars
+	sat *sat.Solver
+	// atomOf keys atoms by interned term identity: structurally equal
+	// atoms share one node, so no print-key is needed.
+	atomOf   map[ast.Term]int
+	atomTerm []ast.Term // SAT var (1-based) → atom term; nil for aux vars
 	trueVar  int
 }
 
@@ -21,7 +23,7 @@ func (s *Solver) abstract(asserts []ast.Term) (*abstraction, error) {
 	s.hit(pAbstractEntry)
 	ab := &abstraction{
 		sat:    sat.New(),
-		atomOf: map[string]int{},
+		atomOf: map[ast.Term]int{},
 	}
 	ab.atomTerm = append(ab.atomTerm, nil) // index 0 unused
 	ab.trueVar = ab.newAux()
@@ -43,14 +45,13 @@ func (ab *abstraction) newAux() int {
 }
 
 func (ab *abstraction) atomLit(t ast.Term, s *Solver) sat.Lit {
-	key := ast.Print(t)
-	if v, ok := ab.atomOf[key]; ok {
+	if v, ok := ab.atomOf[t]; ok {
 		return sat.Lit(v)
 	}
 	s.hit(pAbstractAtom)
 	v := ab.sat.NewVar()
 	ab.atomTerm = append(ab.atomTerm, t)
-	ab.atomOf[key] = v
+	ab.atomOf[t] = v
 	return sat.Lit(v)
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/ast"
@@ -36,11 +37,39 @@ func (e *LinExpr) Clone() *LinExpr {
 	return out
 }
 
-// AddExpr adds o scaled by k into e (in place).
+// Shared read-only rational constants for the hot ±1 scaling paths.
+// Never mutated: AddVar copies coefficients before storing them.
+var (
+	ratOne      = big.NewRat(1, 1)
+	ratMinusOne = big.NewRat(-1, 1)
+)
+
+func isIntRat(k *big.Rat, v int64) bool {
+	return k.IsInt() && k.Num().IsInt64() && k.Num().Int64() == v
+}
+
+// AddExpr adds o scaled by k into e (in place). The ±1 cases — the vast
+// majority of calls from linearization — skip the per-coefficient
+// rational multiply.
 func (e *LinExpr) AddExpr(o *LinExpr, k *big.Rat) {
-	e.Const.Add(e.Const, new(big.Rat).Mul(o.Const, k))
-	for v, c := range o.Coeffs {
-		e.AddVar(v, new(big.Rat).Mul(c, k))
+	switch {
+	case isIntRat(k, 1):
+		e.Const.Add(e.Const, o.Const)
+		for v, c := range o.Coeffs {
+			e.AddVar(v, c)
+		}
+	case isIntRat(k, -1):
+		e.Const.Sub(e.Const, o.Const)
+		var tmp big.Rat
+		for v, c := range o.Coeffs {
+			e.AddVar(v, tmp.Neg(c))
+		}
+	default:
+		var tmp big.Rat
+		e.Const.Add(e.Const, tmp.Mul(o.Const, k))
+		for v, c := range o.Coeffs {
+			e.AddVar(v, tmp.Mul(c, k))
+		}
 	}
 }
 
@@ -117,7 +146,7 @@ func (e *LinExpr) String() string {
 // that is essential for fused formulas).
 type Abstractor struct {
 	prefix string
-	byKey  map[string]string
+	byTerm map[ast.Term]string
 	terms  map[string]ast.Term
 	sorts  map[string]ast.Sort
 	n      int
@@ -129,21 +158,21 @@ type Abstractor struct {
 func NewAbstractor(prefix string) *Abstractor {
 	return &Abstractor{
 		prefix: prefix,
-		byKey:  map[string]string{},
+		byTerm: map[ast.Term]string{},
 		terms:  map[string]ast.Term{},
 		sorts:  map[string]ast.Sort{},
 	}
 }
 
-// VarFor returns the abstraction variable name for term t.
+// VarFor returns the abstraction variable name for term t. Terms are
+// interned, so structural memoization is a pointer-keyed lookup.
 func (a *Abstractor) VarFor(t ast.Term) string {
-	key := ast.Print(t)
-	if v, ok := a.byKey[key]; ok {
+	if v, ok := a.byTerm[t]; ok {
 		return v
 	}
-	v := fmt.Sprintf("%s%d", a.prefix, a.n)
+	v := a.prefix + strconv.Itoa(a.n)
 	a.n++
-	a.byKey[key] = v
+	a.byTerm[t] = v
 	a.terms[v] = t
 	a.sorts[v] = t.Sort()
 	return v
@@ -167,114 +196,147 @@ func (a *Abstractor) Len() int { return a.n }
 // str.to_int, str.indexof, ite) are abstracted into fresh variables via
 // abs; if abs is nil, such terms are an error.
 func Linearize(t ast.Term, abs *Abstractor) (*LinExpr, error) {
+	out := NewLinExpr()
+	if err := LinearizeInto(out, t, ratOne, abs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LinearizeDiff linearizes l − r, the normal form of a binary
+// arithmetic atom, into a single fresh expression.
+func LinearizeDiff(l, r ast.Term, abs *Abstractor) (*LinExpr, error) {
+	out := NewLinExpr()
+	if err := LinearizeInto(out, l, ratOne, abs); err != nil {
+		return nil, err
+	}
+	if err := LinearizeInto(out, r, ratMinusOne, abs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LinearizeInto accumulates k·t into out, so an entire sum tree shares
+// one coefficient map instead of allocating an intermediate LinExpr per
+// node. k is read-only and must not be mutated.
+func LinearizeInto(out *LinExpr, t ast.Term, k *big.Rat, abs *Abstractor) error {
 	switch n := t.(type) {
 	case *ast.Var:
-		e := NewLinExpr()
-		e.AddVar(n.Name, big.NewRat(1, 1))
-		return e, nil
+		out.AddVar(n.Name, k)
+		return nil
 	case *ast.IntLit:
-		e := NewLinExpr()
-		e.Const.SetInt(n.V)
-		return e, nil
+		var tmp big.Rat
+		tmp.SetInt(n.V)
+		if !isIntRat(k, 1) {
+			tmp.Mul(&tmp, k)
+		}
+		out.Const.Add(out.Const, &tmp)
+		return nil
 	case *ast.RealLit:
-		e := NewLinExpr()
-		e.Const.Set(n.V)
-		return e, nil
+		if isIntRat(k, 1) {
+			out.Const.Add(out.Const, n.V)
+		} else {
+			var tmp big.Rat
+			out.Const.Add(out.Const, tmp.Mul(n.V, k))
+		}
+		return nil
 	case *ast.App:
-		return linearizeApp(n, abs)
+		return linearizeApp(out, n, k, abs)
 	default:
-		return nil, fmt.Errorf("arith: cannot linearize %T", t)
+		return fmt.Errorf("arith: cannot linearize %T", t)
 	}
 }
 
-func linearizeApp(n *ast.App, abs *Abstractor) (*LinExpr, error) {
-	one := big.NewRat(1, 1)
+// negOf returns −k without mutating k, sharing the ±1 constants.
+func negOf(k *big.Rat) *big.Rat {
+	if isIntRat(k, 1) {
+		return ratMinusOne
+	}
+	if isIntRat(k, -1) {
+		return ratOne
+	}
+	return new(big.Rat).Neg(k)
+}
+
+func linearizeApp(out *LinExpr, n *ast.App, k *big.Rat, abs *Abstractor) error {
 	switch n.Op {
 	case ast.OpAdd:
-		out := NewLinExpr()
 		for _, a := range n.Args {
-			e, err := Linearize(a, abs)
-			if err != nil {
-				return nil, err
+			if err := LinearizeInto(out, a, k, abs); err != nil {
+				return err
 			}
-			out.AddExpr(e, one)
 		}
-		return out, nil
+		return nil
 	case ast.OpSub:
-		out, err := Linearize(n.Args[0], abs)
-		if err != nil {
-			return nil, err
+		if err := LinearizeInto(out, n.Args[0], k, abs); err != nil {
+			return err
 		}
-		mone := big.NewRat(-1, 1)
+		nk := negOf(k)
 		for _, a := range n.Args[1:] {
-			e, err := Linearize(a, abs)
-			if err != nil {
-				return nil, err
+			if err := LinearizeInto(out, a, nk, abs); err != nil {
+				return err
 			}
-			out.AddExpr(e, mone)
 		}
-		return out, nil
+		return nil
 	case ast.OpNeg:
-		e, err := Linearize(n.Args[0], abs)
-		if err != nil {
-			return nil, err
-		}
-		e.Scale(big.NewRat(-1, 1))
-		return e, nil
+		return LinearizeInto(out, n.Args[0], negOf(k), abs)
 	case ast.OpMul:
 		// Fold constants; a product with more than one non-constant
 		// factor is nonlinear.
-		out := NewLinExpr()
-		out.Const.SetInt64(1)
+		prod := NewLinExpr()
+		prod.Const.SetInt64(1)
 		for _, a := range n.Args {
 			e, err := Linearize(a, abs)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			switch {
 			case e.IsConst():
-				out.Scale(e.Const)
-			case out.IsConst():
-				c := new(big.Rat).Set(out.Const)
-				out = e.Clone()
-				out.Scale(c)
+				prod.Scale(e.Const)
+			case prod.IsConst():
+				// e is freshly built and owned here: scale in place.
+				c := new(big.Rat).Set(prod.Const)
+				e.Scale(c)
+				prod = e
 			default:
-				return abstract(n, abs)
+				return abstractInto(out, n, k, abs)
 			}
 		}
-		return out, nil
+		out.AddExpr(prod, k)
+		return nil
 	case ast.OpRealDiv:
-		out, err := Linearize(n.Args[0], abs)
+		quot, err := Linearize(n.Args[0], abs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, a := range n.Args[1:] {
 			e, err := Linearize(a, abs)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !e.IsConst() || e.Const.Sign() == 0 {
 				// Division by a non-constant (or by the fixed zero
 				// interpretation) is not linear.
-				return abstract(n, abs)
+				return abstractInto(out, n, k, abs)
 			}
-			out.Scale(new(big.Rat).Inv(e.Const))
+			var inv big.Rat
+			quot.Scale(inv.Inv(e.Const))
 		}
-		return out, nil
+		out.AddExpr(quot, k)
+		return nil
 	case ast.OpToReal:
-		return Linearize(n.Args[0], abs)
+		return LinearizeInto(out, n.Args[0], k, abs)
 	default:
 		// div, mod, abs, to_int, ite, str.len, str.to_int,
 		// str.indexof: foreign/nonlinear — abstract.
-		return abstract(n, abs)
+		return abstractInto(out, n, k, abs)
 	}
 }
 
-func abstract(t ast.Term, abs *Abstractor) (*LinExpr, error) {
+func abstractInto(out *LinExpr, t ast.Term, k *big.Rat, abs *Abstractor) error {
 	if abs == nil {
-		return nil, fmt.Errorf("arith: nonlinear or foreign term %s", ast.Print(t))
+		return fmt.Errorf("arith: nonlinear or foreign term %s", ast.Print(t))
 	}
-	e := NewLinExpr()
-	e.AddVar(abs.VarFor(t), big.NewRat(1, 1))
-	return e, nil
+	out.AddVar(abs.VarFor(t), k)
+	return nil
 }

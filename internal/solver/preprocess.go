@@ -200,7 +200,7 @@ func (s *Solver) pushNeg(t ast.Term, neg bool) ast.Term {
 				forall = !n.Forall
 			}
 		}
-		return &ast.Quant{Forall: forall, Bound: n.Bound, Body: s.pushNeg(n.Body, neg)}
+		return ast.MustQuant(forall, n.Bound, s.pushNeg(n.Body, neg))
 	case *ast.App:
 		switch n.Op {
 		case ast.OpNot:

@@ -223,36 +223,53 @@ func (s *Solver) rwIte(app *ast.App) ast.Term {
 func (s *Solver) rwAddMul(app *ast.App) ast.Term {
 	s.hit(pRwAddMul)
 	isAdd := app.Op == ast.OpAdd
-	var flat []ast.Term
+	// Pre-scan: most applications have nothing to flatten and no
+	// identity/absorbing literals, so the slice rebuilds below would
+	// reproduce app.Args verbatim. Skip them for that common case.
+	rebuild := false
 	for _, a := range app.Args {
 		if sub, ok := a.(*ast.App); ok && sub.Op == app.Op {
-			flat = append(flat, sub.Args...)
-			continue
+			rebuild = true
+			break
 		}
-		flat = append(flat, a)
+		if isNumLit(a, 0) || (!isAdd && isNumLit(a, 1)) {
+			rebuild = true
+			break
+		}
 	}
-	// Identity/absorbing literal handling.
-	var kept []ast.Term
-	for _, a := range flat {
-		if isNumLit(a, 0) && isAdd {
-			continue
+	kept := app.Args
+	if rebuild {
+		var flat []ast.Term
+		for _, a := range app.Args {
+			if sub, ok := a.(*ast.App); ok && sub.Op == app.Op {
+				flat = append(flat, sub.Args...)
+				continue
+			}
+			flat = append(flat, a)
 		}
-		if isNumLit(a, 1) && !isAdd {
-			continue
+		// Identity/absorbing literal handling.
+		kept = nil
+		for _, a := range flat {
+			if isNumLit(a, 0) && isAdd {
+				continue
+			}
+			if isNumLit(a, 1) && !isAdd {
+				continue
+			}
+			if isNumLit(a, 0) && !isAdd {
+				return zeroOfSort(app.Sort())
+			}
+			kept = append(kept, a)
 		}
-		if isNumLit(a, 0) && !isAdd {
-			return zeroOfSort(app.Sort())
+		if len(kept) == 0 {
+			if isAdd {
+				return zeroOfSort(app.Sort())
+			}
+			return oneOfSort(app.Sort())
 		}
-		kept = append(kept, a)
-	}
-	if len(kept) == 0 {
-		if isAdd {
-			return zeroOfSort(app.Sort())
+		if len(kept) == 1 {
+			return kept[0]
 		}
-		return oneOfSort(app.Sort())
-	}
-	if len(kept) == 1 {
-		return kept[0]
 	}
 	// (* (/ a b) b) → a. Sound only for a literal nonzero divisor; the
 	// defect applies the cancellation unconditionally — the unguarded
@@ -266,19 +283,10 @@ func (s *Solver) rwAddMul(app *ast.App) ast.Term {
 		}
 	}
 	var out ast.Term = app
-	if len(kept) != len(app.Args) {
+	if rebuild {
+		// Flattening or literal removal always changed the argument
+		// list, so reconstruct (interning dedups any coincidences).
 		out = ast.MustApp(app.Op, kept...)
-	} else {
-		same := true
-		for i := range kept {
-			if kept[i] != app.Args[i] {
-				same = false
-				break
-			}
-		}
-		if !same {
-			out = ast.MustApp(app.Op, kept...)
-		}
 	}
 	return s.foldGround(out)
 }
@@ -787,7 +795,7 @@ func (s *Solver) foldGround(t ast.Term) ast.Term {
 	if !ok || app.Sort() == ast.SortRegLan {
 		return t
 	}
-	if len(ast.FreeVars(app)) != 0 || ast.HasQuantifier(app) {
+	if ast.HasFreeVars(app) || ast.HasQuantifier(app) {
 		return t
 	}
 	v, err := eval.Term(app, nil)

@@ -13,21 +13,45 @@ import (
 
 // Num is a δ-rational a + b·δ, where δ is a positive infinitesimal.
 // Strict bounds x > c are represented as x ≥ c + δ.
+//
+// Num values are immutable: every operation returns a fresh Num and
+// nothing writes through A or B. That lets zero components share one
+// read-only rational instead of allocating one per value — the solver
+// creates δ-rationals constantly and the vast majority have B = 0.
 type Num struct {
 	A *big.Rat // standard part
 	B *big.Rat // δ coefficient
 }
 
+// Shared read-only rationals for Num components. Never mutated.
+var (
+	ratZero   = new(big.Rat)
+	ratPosOne = big.NewRat(1, 1)
+	ratNegOne = big.NewRat(-1, 1)
+)
+
+func ratInt(b int64) *big.Rat {
+	switch b {
+	case 0:
+		return ratZero
+	case 1:
+		return ratPosOne
+	case -1:
+		return ratNegOne
+	}
+	return big.NewRat(b, 1)
+}
+
 // Rat returns the δ-rational for a plain rational.
-func Rat(a *big.Rat) Num { return Num{A: new(big.Rat).Set(a), B: new(big.Rat)} }
+func Rat(a *big.Rat) Num { return Num{A: new(big.Rat).Set(a), B: ratZero} }
 
 // RatDelta returns a + b·δ.
 func RatDelta(a *big.Rat, b int64) Num {
-	return Num{A: new(big.Rat).Set(a), B: big.NewRat(b, 1)}
+	return Num{A: new(big.Rat).Set(a), B: ratInt(b)}
 }
 
 // Zero returns the δ-rational 0.
-func Zero() Num { return Num{A: new(big.Rat), B: new(big.Rat)} }
+func Zero() Num { return Num{A: ratZero, B: ratZero} }
 
 // Clone returns a deep copy.
 func (n Num) Clone() Num {
@@ -42,19 +66,38 @@ func (n Num) Cmp(o Num) int {
 	return n.B.Cmp(o.B)
 }
 
+// addPart combines one component, sharing the zero rational when both
+// inputs are zero (the common case for δ coefficients).
+func addPart(a, b *big.Rat, sub bool) *big.Rat {
+	if a.Sign() == 0 && b.Sign() == 0 {
+		return ratZero
+	}
+	if sub {
+		return new(big.Rat).Sub(a, b)
+	}
+	return new(big.Rat).Add(a, b)
+}
+
 // Add returns n + o.
 func (n Num) Add(o Num) Num {
-	return Num{A: new(big.Rat).Add(n.A, o.A), B: new(big.Rat).Add(n.B, o.B)}
+	return Num{A: addPart(n.A, o.A, false), B: addPart(n.B, o.B, false)}
 }
 
 // Sub returns n − o.
 func (n Num) Sub(o Num) Num {
-	return Num{A: new(big.Rat).Sub(n.A, o.A), B: new(big.Rat).Sub(n.B, o.B)}
+	return Num{A: addPart(n.A, o.A, true), B: addPart(n.B, o.B, true)}
 }
 
 // ScaleRat returns n · r for a plain rational r.
 func (n Num) ScaleRat(r *big.Rat) Num {
-	return Num{A: new(big.Rat).Mul(n.A, r), B: new(big.Rat).Mul(n.B, r)}
+	out := Num{A: ratZero, B: ratZero}
+	if n.A.Sign() != 0 && r.Sign() != 0 {
+		out.A = new(big.Rat).Mul(n.A, r)
+	}
+	if n.B.Sign() != 0 && r.Sign() != 0 {
+		out.B = new(big.Rat).Mul(n.B, r)
+	}
+	return out
 }
 
 func (n Num) String() string {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Solver is an exact simplex instance. Build one per theory check:
@@ -57,11 +57,17 @@ func comboKey(coeffs map[int]*big.Rat) string {
 		}
 	}
 	sort.Ints(idxs)
-	var b strings.Builder
+	buf := make([]byte, 0, 16*len(idxs))
 	for _, v := range idxs {
-		fmt.Fprintf(&b, "%d:%s;", v, coeffs[v].RatString())
+		c := coeffs[v]
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ':')
+		buf = c.Num().Append(buf, 10)
+		buf = append(buf, '/')
+		buf = c.Denom().Append(buf, 10)
+		buf = append(buf, ';')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // slackFor returns (creating if needed) the slack variable constrained

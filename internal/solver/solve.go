@@ -348,15 +348,10 @@ func (s *Solver) litToAtom(l ast.Term, abs *arith.Abstractor) (*arith.LinExpr, a
 	if !polarity {
 		rel = rel.Negate()
 	}
-	lhs, err := arith.Linearize(app.Args[0], abs)
+	lhs, err := arith.LinearizeDiff(app.Args[0], app.Args[1], abs)
 	if err != nil {
 		return nil, 0, false
 	}
-	rhs, err := arith.Linearize(app.Args[1], abs)
-	if err != nil {
-		return nil, 0, false
-	}
-	lhs.AddExpr(rhs, big.NewRat(-1, 1))
 	return lhs, rel, true
 }
 

@@ -36,6 +36,12 @@ func (c *checker) search() (Status, eval.Model) {
 		return len(cands[searchVars[i]]) < len(cands[searchVars[j]])
 	})
 
+	// Literals with no free variables never become "newly completed" by
+	// an assignment below; verify them once up front.
+	if !c.litsConsistent(eval.Model{}) {
+		return Unknown, nil
+	}
+
 	nodes := c.lim.MaxNodes
 	ok, model := c.dfs(searchVars, cands, eval.Model{}, &nodes)
 	if ok {
@@ -228,12 +234,19 @@ func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Mode
 			if sv, ok := val.(eval.StrV); ok && c.violatesNeg(v, string(sv)) {
 				return false, nil
 			}
-			m2 := m.Clone()
-			m2[v] = val
-			if !c.litsConsistent(m2) {
+			// Assign in place and undo on failure: the search clones the
+			// model only when a full solution is certified
+			// (completeArith), not at every node.
+			m[v] = val
+			if !c.litsConsistentAfter(m, v) {
+				delete(m, v)
 				return false, nil
 			}
-			return c.dfs(order, cands, m2, nodes)
+			ok, model := c.dfs(order, cands, m, nodes)
+			if !ok {
+				delete(m, v)
+			}
+			return ok, model
 		}
 	}
 
@@ -249,14 +262,13 @@ func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Mode
 		return c.completeArith(m)
 	}
 	for _, val := range cands[pick] {
-		m2 := m.Clone()
-		m2[pick] = val
-		if !c.litsConsistent(m2) {
-			continue
+		m[pick] = val
+		if c.litsConsistentAfter(m, pick) {
+			if ok, model := c.dfs(order, cands, m, nodes); ok {
+				return true, model
+			}
 		}
-		if ok, model := c.dfs(order, cands, m2, nodes); ok {
-			return true, model
-		}
+		delete(m, pick)
 		if *nodes <= 0 {
 			return false, nil
 		}
@@ -279,6 +291,30 @@ func (c *checker) litsConsistent(m eval.Model) bool {
 			continue
 		}
 		ok, err := eval.Bool(l, m)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// litsConsistentAfter evaluates only the literals completed by the
+// assignment of v: a literal needs checking exactly when its last free
+// variable gets a value, so the DFS evaluates each literal once per
+// path instead of re-evaluating every ready literal at every node.
+func (c *checker) litsConsistentAfter(m eval.Model, v string) bool {
+	for _, i := range c.litsByVar[v] {
+		ready := true
+		for _, name := range c.litVars[i] {
+			if _, ok := m[name]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		ok, err := eval.Bool(c.lits[i], m)
 		if err != nil || !ok {
 			return false
 		}

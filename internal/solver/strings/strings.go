@@ -89,6 +89,10 @@ type checker struct {
 	// eqDefs: defining equations v = rhs usable for propagation.
 	eqDefs map[string][]ast.Term
 
+	// litsByVar indexes literals by free-variable name, so the DFS can
+	// check only the literals completed by each assignment.
+	litsByVar map[string][]int
+
 	alphabet []byte
 	lenHint  map[string]int
 }
@@ -96,10 +100,12 @@ type checker struct {
 func (c *checker) run() (Status, eval.Model) {
 	c.varSorts = map[string]ast.Sort{}
 	c.litVars = make([][]string, len(c.lits))
+	c.litsByVar = map[string][]int{}
 	for i, l := range c.lits {
 		for _, v := range ast.FreeVars(l) {
 			c.varSorts[v.Name] = v.VSort
 			c.litVars[i] = append(c.litVars[i], v.Name)
+			c.litsByVar[v.Name] = append(c.litsByVar[v.Name], i)
 		}
 	}
 	for name, s := range c.varSorts {
