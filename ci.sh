@@ -27,6 +27,14 @@ echo "== go test -race (parallel campaign + solver) =="
 # needs the parallel shard/merge structure exercised, not volume.
 go test -race -short -timeout 20m ./internal/harness/ ./internal/solver/...
 
+echo "== go test -race (fault containment) =="
+# The fault-injection suite full-length under the race detector: hang
+# defects, synthetic panics, watchdog quarantine, artifact replay. The
+# watchdog path spawns and abandons goroutines, so it gets the most
+# scrutiny here.
+go test -race -timeout 10m -run 'TestRunSolverInternalFault|TestHangDefect|TestSimplexHang|TestSyntheticPanic|TestFaultCampaign|TestArtifacts|TestWallTimeout' ./internal/harness/
+go test -race -timeout 5m ./internal/fuel/ ./internal/watchdog/
+
 echo "== bench gate =="
 # Short-mode regression gate: runs the fast benchmarks and compares
 # tests/s against the latest committed BENCH_<n>.json; a drop beyond

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	solve [-sut z3sim|cvc4sim] [-release trunk] [-model] file.smt2
+//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] file.smt2
+//
+// A solve that exhausts its deterministic step budget prints "timeout",
+// the analogue of a real solver hitting its time limit.
 package main
 
 import (
@@ -23,9 +26,10 @@ func main() {
 	sutName := flag.String("sut", "", "simulated solver under test (z3sim or cvc4sim); empty = reference solver")
 	release := flag.String("release", "trunk", "SUT release version")
 	showModel := flag.Bool("model", false, "print the model on sat")
+	fuel := flag.Int64("fuel", 0, "deterministic step budget (0 = default, negative = unlimited)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: solve [-sut z3sim|cvc4sim] [-release R] [-model] file.smt2")
+		fmt.Fprintln(os.Stderr, "usage: solve [-sut z3sim|cvc4sim] [-release R] [-fuel N] [-model] file.smt2")
 		os.Exit(2)
 	}
 
@@ -40,11 +44,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	lim := solver.DefaultLimits()
+	if *fuel > 0 {
+		lim.Fuel = *fuel
+	} else if *fuel < 0 {
+		lim.Fuel = 0
+	}
 	var s *solver.Solver
 	if *sutName == "" {
-		s = solver.NewReference()
+		s = solver.New(solver.Config{Limits: lim})
 	} else {
-		s, err = bugdb.NewSolver(bugdb.SUT(*sutName), *release, nil)
+		s, err = bugdb.NewSolverWithLimits(bugdb.SUT(*sutName), *release, nil, lim)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -60,7 +70,7 @@ func main() {
 	}()
 	out := s.SolveScript(script)
 	fmt.Println(out.Result)
-	if out.Result == solver.ResUnknown && out.Reason != "" {
+	if (out.Result == solver.ResUnknown || out.Result == solver.ResTimeout) && out.Reason != "" {
 		fmt.Fprintln(os.Stderr, "; reason:", out.Reason)
 	}
 	if *showModel && out.Result == solver.ResSat {

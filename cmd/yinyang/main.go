@@ -6,7 +6,8 @@
 //
 //	yinyang [-sut z3sim] [-release trunk] [-logics QF_S,QF_NRA]
 //	        [-iters 200] [-pool 20] [-seed 1] [-threads 1]
-//	        [-concat] [-outdir bugs/]
+//	        [-concat] [-outdir bugs/] [-artifacts artifacts/]
+//	        [-fuel 10000000] [-walltimeout 0]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -36,6 +37,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	threads := flag.Int("threads", 1, "parallel workers")
 	concat := flag.Bool("concat", false, "ConcatFuzz baseline (no variable fusion)")
+	fuel := flag.Int64("fuel", 0, "deterministic step budget per solve (0 = solver default, negative = unlimited)")
+	wallTimeout := flag.Duration("walltimeout", 0, "wall-clock watchdog per solve (0 = off); cut-off runs are quarantined, and results stop being thread-count invariant")
+	artifacts := flag.String("artifacts", "", "persist replayable reproducer bundles under this directory")
 	outdir := flag.String("outdir", "", "write reduced bug-triggering formulas here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memprofile := flag.String("memprofile", "", "write an allocation profile here at exit")
@@ -63,22 +67,28 @@ func main() {
 	}
 
 	res, err := harness.Run(harness.Campaign{
-		SUT:        bugdb.SUT(*sutName),
-		Release:    *release,
-		Logics:     logics,
-		Iterations: *iters,
-		SeedPool:   *pool,
-		Seed:       *seed,
-		Threads:    *threads,
-		ConcatOnly: *concat,
+		SUT:         bugdb.SUT(*sutName),
+		Release:     *release,
+		Logics:      logics,
+		Iterations:  *iters,
+		SeedPool:    *pool,
+		Seed:        *seed,
+		Threads:     *threads,
+		ConcatOnly:  *concat,
+		Fuel:        *fuel,
+		WallTimeout: *wallTimeout,
+		ArtifactDir: *artifacts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("tests: %d   unknowns: %d   bugs: %d   duplicates: %d   invalid-inputs: %d\n",
-		res.Tests, res.Unknowns, len(res.Bugs), res.Duplicates, res.InvalidInputs)
+	fmt.Printf("tests: %d   unknowns: %d   timeouts: %d   bugs: %d   duplicates: %d   invalid-inputs: %d   quarantined: %d\n",
+		res.Tests, res.Unknowns, res.Timeouts, len(res.Bugs), res.Duplicates, res.InvalidInputs, res.Quarantined)
+	if len(res.Artifacts) > 0 {
+		fmt.Printf("artifacts: %d bundles under %s\n", len(res.Artifacts), *artifacts)
+	}
 	if res.InvalidInputs > 0 {
 		fmt.Printf("WARNING: %d fused scripts rejected by the static verification gate (fusion defect?)\n",
 			res.InvalidInputs)
@@ -92,7 +102,7 @@ func main() {
 		fmt.Printf("  [%s] %-32s logic=%-10s oracle=%-5v observed=%-7v  %s\n",
 			b.Kind, b.Defect, b.Logic, b.Oracle, b.Observed, entry.Description)
 		if *outdir != "" {
-			writeReduced(*outdir, b)
+			writeReduced(*outdir, b, *fuel)
 		}
 	}
 
@@ -112,14 +122,26 @@ func main() {
 }
 
 // writeReduced reduces the bug-triggering script (keeping the same
-// defect firing with the same misbehaviour) and writes it out.
-func writeReduced(dir string, b harness.Bug) {
+// defect firing with the same misbehaviour) and writes it out. The
+// reduction solver runs under the same fuel limit as the campaign so a
+// Performance finding's timeout signature survives shrinking.
+func writeReduced(dir string, b harness.Bug, fuel int64) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "outdir:", err)
 		return
 	}
 	entry, _ := bugdb.Find(b.Defect)
-	sut := bugdb.NewTrunkSolver(entry.SUT, nil)
+	lim := solver.DefaultLimits()
+	if fuel > 0 {
+		lim.Fuel = fuel
+	} else if fuel < 0 {
+		lim.Fuel = 0
+	}
+	sut, err := bugdb.NewSolverWithLimits(entry.SUT, "trunk", nil, lim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduce:", err)
+		return
+	}
 	ref := solver.NewReference()
 	interesting := func(c *smtlib.Script) bool {
 		run := harness.RunSolver(sut, c)
@@ -134,7 +156,10 @@ func writeReduced(dir string, b harness.Bug) {
 			refOut := ref.SolveScript(c)
 			return refOut.Result != solver.ResUnknown && refOut.Result != b.Observed
 		default:
-			return run.Result == solver.ResUnknown && fired(run.DefectsFired, b.Defect)
+			// Performance: fuel exhaustion (or unknown, with the meter
+			// disabled) with the same defect firing.
+			return (run.Result == solver.ResTimeout || run.Result == solver.ResUnknown) &&
+				fired(run.DefectsFired, b.Defect)
 		}
 	}
 	script := b.Script

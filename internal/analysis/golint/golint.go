@@ -7,9 +7,14 @@
 //     math/rand functions (rand.Intn, rand.Float64, ...) are rejected;
 //     all randomness must flow through an explicitly seeded *rand.Rand
 //     (rand.New / rand.NewSource remain allowed).
-//   - wall-clock (solver and fusion paths): time.Now / time.Since are
-//     rejected in the packages whose behavior must be a pure function
-//     of their inputs (ast, core, eval, gen, regex, smtlib, solver).
+//   - wall-clock (repo-wide): calls to the time functions that read or
+//     schedule against the real clock (time.Now, Since, Until, Sleep,
+//     After, AfterFunc, Tick, NewTimer, NewTicker) are rejected
+//     everywhere except an explicit allowlist: internal/watchdog (the
+//     opt-in wall-clock backstop, whose cut-offs are quarantined rather
+//     than classified) and cmd/bench (throughput measurement). The fuel
+//     meter (internal/fuel) is the deterministic deadline; nothing that
+//     classifies results may consult the clock.
 //   - map-range-render (output-rendering paths): a range over a
 //     map-typed value may not emit output directly nor append to a
 //     slice that is never sorted in the same function, since Go map
@@ -65,11 +70,21 @@ var statefulRandFuncs = map[string]bool{
 	"Seed": true, "Read": true,
 }
 
-// wallClockDirs are the path prefixes where solver results must be a
-// pure function of the script: no timing-dependent behavior.
-var wallClockDirs = []string{
-	"internal/ast/", "internal/core/", "internal/eval/", "internal/gen/",
-	"internal/regex/", "internal/smtlib/", "internal/solver/",
+// wallClockAllowlist are the only path prefixes permitted to call the
+// wall-clock functions: the watchdog backstop (quarantine-only, never
+// classification) and the benchmark harness (throughput measurement is
+// inherently about real time). Everything else must use the fuel meter.
+var wallClockAllowlist = []string{
+	"internal/watchdog/", "cmd/bench/",
+}
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the real clock. Pure value constructors and conversions
+// (time.Duration arithmetic, time.Parse, time.Unix) stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
 }
 
 // renderDirs are the path prefixes holding output-rendering or
@@ -136,7 +151,7 @@ func LintSource(filename string, src []byte) ([]Finding, error) {
 		filename:  filepath.ToSlash(filename),
 		randName:  importName(file, "math/rand"),
 		timeName:  importName(file, "time"),
-		wallClock: underAny(filepath.ToSlash(filename), wallClockDirs),
+		wallClock: !underAny(filepath.ToSlash(filename), wallClockAllowlist),
 		render:    underAny(filepath.ToSlash(filename), renderDirs),
 	}
 	l.collectPackageMaps(file)
@@ -223,9 +238,9 @@ func (l *linter) lintCalls(file *ast.File) {
 				"call to global %s.%s; use an explicitly seeded *rand.Rand", pkg.Name, sel.Sel.Name)
 		}
 		if l.wallClock && l.timeName != "" && pkg.Name == l.timeName &&
-			(sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
+			wallClockFuncs[sel.Sel.Name] {
 			l.report(call.Pos(), RuleWallClock,
-				"%s.%s in a deterministic solver/fusion path", pkg.Name, sel.Sel.Name)
+				"%s.%s outside the watchdog/bench allowlist; deadlines must use the fuel meter", pkg.Name, sel.Sel.Name)
 		}
 		return true
 	})

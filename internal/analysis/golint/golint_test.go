@@ -84,10 +84,72 @@ func f() time.Time { return time.Now() }
 	wantRule(t, fs, RuleWallClock, 1)
 }
 
-func TestWallClockAllowedOutsideSolverPath(t *testing.T) {
-	fs := lint(t, "internal/harness/x.go", `package harness
+// TestWallClockRejectedEverywhereOutsideAllowlist pins the rule's
+// repo-wide scope: a new time.Now (or timer/sleep) anywhere but the
+// watchdog and bench allowlist must fail the lint, including paths that
+// were historically exempt (harness, cmd, reduce, coverage).
+func TestWallClockRejectedEverywhereOutsideAllowlist(t *testing.T) {
+	for _, file := range []string{
+		"internal/harness/x.go",
+		"internal/reduce/x.go",
+		"internal/coverage/x.go",
+		"internal/analysis/x.go",
+		"cmd/yinyang/main.go",
+	} {
+		fs := lint(t, file, `package p
 import "time"
 func f() time.Time { return time.Now() }
+`)
+		wantRule(t, fs, RuleWallClock, 1)
+	}
+}
+
+func TestWallClockTimerAndSleepRejected(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "time"
+func f() {
+	time.Sleep(time.Millisecond)
+	t := time.NewTimer(time.Second)
+	_ = t
+	<-time.After(time.Second)
+	time.AfterFunc(time.Second, func() {})
+	tk := time.NewTicker(time.Second)
+	_ = tk
+	_ = time.Since(time.Time{})
+	_ = time.Until(time.Time{})
+}
+`)
+	wantRule(t, fs, RuleWallClock, 7)
+}
+
+func TestWallClockAllowedInWatchdogAndBench(t *testing.T) {
+	for _, file := range []string{
+		"internal/watchdog/watchdog.go",
+		"cmd/bench/main.go",
+	} {
+		fs := lint(t, file, `package p
+import "time"
+func f() bool {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	_ = time.Now()
+	return true
+}
+`)
+		wantRule(t, fs, RuleWallClock, 0)
+	}
+}
+
+// TestWallClockPureTimeUsesAllowed: types and constructors that do not
+// read the clock (Duration arithmetic, ParseDuration) stay legal
+// everywhere — the harness needs time.Duration for the watchdog knob.
+func TestWallClockPureTimeUsesAllowed(t *testing.T) {
+	fs := lint(t, "internal/harness/x.go", `package harness
+import "time"
+func f(d time.Duration) time.Duration {
+	p, _ := time.ParseDuration("5s")
+	return d + p*time.Millisecond
+}
 `)
 	wantRule(t, fs, RuleWallClock, 0)
 }

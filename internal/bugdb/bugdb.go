@@ -100,6 +100,7 @@ var Catalog = []Entry{
 	{solver.DefCrashRangeBounds, Z3Sim, Crash, "QF_S", 2019, 6, "", "assertion failure on multi-character re.range bounds"},
 	// --- z3sim performance ---
 	{solver.DefPerfBnBBlowup, Z3Sim, Performance, "QF_NIA", 2019, 6, "", "branch-and-bound blowup on wide nonlinear integer problems"},
+	{solver.DefHangStringsDFS, Z3Sim, Performance, "QF_S", 2019, 5, "", "string-search DFS hangs on wide fused variable frontiers"},
 
 	// --- cvc4sim soundness (all labelled major, as in the paper) ---
 	{solver.DefStrToIntEmpty, CVC4Sim, Soundness, "QF_S", 2019, 2, "major", "missed corner case in the str.to_int reduction for the empty string"},
@@ -116,6 +117,7 @@ var Catalog = []Entry{
 	{solver.DefCrashBigSubstr, CVC4Sim, Crash, "QF_SLIA", 2018, 1, "", "substr index overflowing an internal length type"},
 	// --- cvc4sim performance ---
 	{solver.DefPerfRegexBlowup, CVC4Sim, Performance, "QF_S", 2019, 2, "", "regex derivative memoization missing on deep expressions"},
+	{solver.DefHangSimplexCycle, CVC4Sim, Performance, "QF_LIA", 2018, 1, "", "simplex cycling on wide linear integer problems (pivot loop never terminates)"},
 }
 
 // Find returns the catalogue entry for a defect ID.
@@ -185,6 +187,16 @@ func NewSolver(s SUT, release string, cov *coverage.Tracker) (*solver.Solver, er
 		return nil, err
 	}
 	return solver.New(solver.Config{Defects: defects, Coverage: cov}), nil
+}
+
+// NewSolverWithLimits is NewSolver with explicit solver limits — the
+// harness uses it to impose a campaign-wide fuel deadline.
+func NewSolverWithLimits(s SUT, release string, cov *coverage.Tracker, lim solver.Limits) (*solver.Solver, error) {
+	defects, err := DefectsIn(s, release)
+	if err != nil {
+		return nil, err
+	}
+	return solver.New(solver.Config{Defects: defects, Coverage: cov, Limits: lim}), nil
 }
 
 // NewTrunkSolver builds the trunk configuration (all defects).

@@ -1,0 +1,72 @@
+// Package fuel provides a deterministic step counter shared by every
+// search engine in the solver: the CDCL loop, simplex pivots,
+// branch-and-bound, interval refinement, the strings DFS, and regex
+// derivative construction all spend from one Meter. When the meter is
+// exhausted each engine gives up cleanly and the solver reports
+// ResTimeout — a timeout measured in steps, not wall-clock time, so
+// campaigns stay bit-identical for any thread count and the golint
+// wall-clock ban holds.
+package fuel
+
+// Meter is a nil-safe step budget. A nil Meter — and a Meter built
+// with a non-positive budget — is unlimited: Spend always succeeds and
+// Exhausted stays false. Meters are not safe for concurrent use; every
+// solve owns its own.
+type Meter struct {
+	remaining int64
+	limited   bool
+	exhausted bool
+}
+
+// NewMeter returns a meter with the given step budget. A non-positive
+// budget means unlimited.
+func NewMeter(budget int64) *Meter {
+	if budget <= 0 {
+		return &Meter{}
+	}
+	return &Meter{remaining: budget, limited: true}
+}
+
+// Spend consumes n steps and reports whether the budget still holds.
+// Once the meter is exhausted it stays exhausted; callers should
+// unwind promptly but need not check after every single step.
+func (m *Meter) Spend(n int64) bool {
+	if m == nil || !m.limited {
+		return true
+	}
+	if m.exhausted {
+		return false
+	}
+	m.remaining -= n
+	if m.remaining < 0 {
+		m.remaining = 0
+		m.exhausted = true
+		return false
+	}
+	return true
+}
+
+// Exhausted reports whether the meter has run out of fuel.
+func (m *Meter) Exhausted() bool {
+	return m != nil && m.exhausted
+}
+
+// Drain instantly exhausts a limited meter. Injected hang defects call
+// this instead of actually looping: the observable signature (a
+// deterministic timeout) is identical, with no wall-clock cost. A nil
+// or unlimited meter is unaffected — there is no deadline to hit.
+func (m *Meter) Drain() {
+	if m == nil || !m.limited {
+		return
+	}
+	m.remaining = 0
+	m.exhausted = true
+}
+
+// Remaining returns the steps left, or -1 when unlimited.
+func (m *Meter) Remaining() int64 {
+	if m == nil || !m.limited {
+		return -1
+	}
+	return m.remaining
+}

@@ -1,0 +1,83 @@
+package fuel
+
+import "testing"
+
+func TestNilMeterIsUnlimited(t *testing.T) {
+	var m *Meter
+	if !m.Spend(1000) {
+		t.Error("nil meter should always allow spending")
+	}
+	if m.Exhausted() {
+		t.Error("nil meter should never be exhausted")
+	}
+	m.Drain() // must not panic
+	if m.Remaining() != -1 {
+		t.Errorf("nil meter Remaining = %d, want -1", m.Remaining())
+	}
+}
+
+func TestUnlimitedMeter(t *testing.T) {
+	for _, budget := range []int64{0, -1, -100} {
+		m := NewMeter(budget)
+		if !m.Spend(1 << 40) {
+			t.Errorf("NewMeter(%d) should be unlimited", budget)
+		}
+		m.Drain()
+		if m.Exhausted() {
+			t.Errorf("NewMeter(%d) should not drain", budget)
+		}
+	}
+}
+
+func TestLimitedMeter(t *testing.T) {
+	m := NewMeter(10)
+	if m.Remaining() != 10 {
+		t.Errorf("Remaining = %d, want 10", m.Remaining())
+	}
+	if !m.Spend(7) {
+		t.Error("spend within budget should succeed")
+	}
+	if m.Remaining() != 3 {
+		t.Errorf("Remaining = %d, want 3", m.Remaining())
+	}
+	if m.Spend(4) {
+		t.Error("overspend should fail")
+	}
+	if !m.Exhausted() {
+		t.Error("overspent meter should be exhausted")
+	}
+	// Sticky: further spends keep failing, even tiny ones.
+	if m.Spend(1) {
+		t.Error("exhausted meter should reject every spend")
+	}
+	if m.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", m.Remaining())
+	}
+}
+
+func TestExactSpendIsNotExhaustion(t *testing.T) {
+	m := NewMeter(5)
+	if !m.Spend(5) {
+		t.Error("spending exactly the budget should succeed")
+	}
+	if m.Exhausted() {
+		t.Error("meter at zero is not exhausted until an overspend")
+	}
+	if m.Spend(1) {
+		t.Error("the next spend must fail")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	m := NewMeter(1000)
+	m.Drain()
+	if !m.Exhausted() {
+		t.Error("drained meter should be exhausted")
+	}
+	if m.Spend(1) {
+		t.Error("drained meter should reject spends")
+	}
+	if m.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", m.Remaining())
+	}
+}

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bugdb"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/smtlib"
+	"repro/internal/solver"
+)
+
+// ManifestSchema versions the on-disk manifest layout.
+const ManifestSchema = 1
+
+// Manifest is the JSON sidecar of one reproducer bundle. Together with
+// the three .smt2 files it makes a finding independently replayable:
+// the RNG coordinates (campaign seed, logic, iteration) plus the
+// campaign shape (iterations, seed pool, concat flag, fusion options
+// are defaults) regenerate the exact same fused test, and the SUT
+// coordinates rebuild the exact same solver.
+type Manifest struct {
+	Schema int `json:"schema"`
+
+	// Solver under test.
+	SUT     string `json:"sut"`
+	Release string `json:"release"`
+
+	// What was observed.
+	BugType      string   `json:"bug_type"` // soundness/crash/performance, or "quarantine"
+	Defect       string   `json:"defect,omitempty"`
+	Oracle       string   `json:"oracle"`
+	Observed     string   `json:"observed"`
+	Reason       string   `json:"reason,omitempty"`
+	DefectsFired []string `json:"defects_fired,omitempty"`
+	FaultMsg     string   `json:"fault_msg,omitempty"`
+	FaultStack   string   `json:"fault_stack,omitempty"`
+
+	// RNG coordinates for exact replay.
+	CampaignSeed int64  `json:"campaign_seed"`
+	Logic        string `json:"logic"`
+	Iteration    int    `json:"iteration"`
+
+	// Campaign shape needed to rebuild the corpus and task stream.
+	Iterations int    `json:"iterations"`
+	SeedPool   int    `json:"seed_pool"`
+	ConcatOnly bool   `json:"concat_only"`
+	Fuel       int64  `json:"fuel"` // 0 = solver default, <0 = unlimited
+	Mode       string `json:"mode,omitempty"`
+	// InjectDefects mirrors Campaign.InjectDefects so fault-injection
+	// findings rebuild the same augmented solver on replay.
+	InjectDefects []string `json:"inject_defects,omitempty"`
+}
+
+// artifactWriter persists reproducer bundles under one directory,
+// deduplicated by bug hash. It is only ever called from the in-order
+// classification loop, so it needs no locking and writes in a
+// deterministic order.
+type artifactWriter struct {
+	dir     string
+	written map[string]bool
+	paths   []string
+	err     error // first write error, surfaced at campaign end
+}
+
+func newArtifactWriter(dir string) *artifactWriter {
+	return &artifactWriter{dir: dir, written: map[string]bool{}}
+}
+
+// bugHash identifies a bundle: same SUT, defect, and fused text hash to
+// the same directory, so duplicate triggers do not pile up bundles.
+func bugHash(sut, release, defect, fusedText string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s", sut, release, defect, fusedText)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// write persists one bundle: seed1.smt2, seed2.smt2, fused.smt2, and
+// manifest.json under dir/<bughash>/. Returns the bundle path ("" when
+// skipped as a duplicate).
+func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, fused *core.Fused) string {
+	if w == nil {
+		return ""
+	}
+	fusedText := smtlib.Print(fused.Script)
+	key := bugHash(m.SUT, m.Release, m.Defect+m.FaultMsg, fusedText)
+	if w.written[key] {
+		return ""
+	}
+	w.written[key] = true
+	dir := filepath.Join(w.dir, key)
+	if err := w.writeBundle(dir, m, ancestors, fusedText); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.paths = append(w.paths, dir)
+	return dir
+}
+
+func (w *artifactWriter) writeBundle(dir string, m Manifest, ancestors [2]*core.Seed, fusedText string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]string{
+		"seed1.smt2": smtlib.Print(ancestors[0].Script),
+		"seed2.smt2": smtlib.Print(ancestors[1].Script),
+		"fused.smt2": fusedText,
+	}
+	for name, text := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads a bundle's manifest.json.
+func ReadManifest(bundleDir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(bundleDir, "manifest.json"))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, err
+	}
+	if m.Schema != ManifestSchema {
+		return m, fmt.Errorf("artifacts: unsupported manifest schema %d", m.Schema)
+	}
+	return m, nil
+}
+
+// ReplayReport is the outcome of replaying one reproducer bundle.
+type ReplayReport struct {
+	// FusedMatches reports whether the regenerated fused script is
+	// byte-identical to the persisted fused.smt2.
+	FusedMatches bool
+	// ResultMatches reports whether the SUT's verdict equals the
+	// manifest's observed verdict.
+	ResultMatches bool
+	// DefectFired reports whether the manifest's primary defect fired
+	// again (vacuously true for quarantine bundles with no defect).
+	DefectFired bool
+	Observed    solver.Result
+}
+
+// Exact reports a fully faithful reproduction.
+func (r ReplayReport) Exact() bool {
+	return r.FusedMatches && r.ResultMatches && r.DefectFired
+}
+
+// Replay regenerates the bundle's fused test from its RNG coordinates
+// alone — campaign seed, logic, iteration, plus the campaign shape —
+// and re-runs the solver under test on it, verifying the finding
+// reproduces exactly.
+func Replay(bundleDir string) (ReplayReport, error) {
+	var rep ReplayReport
+	m, err := ReadManifest(bundleDir)
+	if err != nil {
+		return rep, err
+	}
+	wantFused, err := os.ReadFile(filepath.Join(bundleDir, "fused.smt2"))
+	if err != nil {
+		return rep, err
+	}
+
+	cfg := Campaign{
+		SUT:        bugdb.SUT(m.SUT),
+		Release:    m.Release,
+		Logics:     []gen.Logic{gen.Logic(m.Logic)},
+		Iterations: m.Iterations,
+		SeedPool:   m.SeedPool,
+		Seed:       m.CampaignSeed,
+		Threads:    1,
+		ConcatOnly: m.ConcatOnly,
+		Fuel:       m.Fuel,
+	}
+	for _, d := range m.InjectDefects {
+		cfg.InjectDefects = append(cfg.InjectDefects, solver.Defect(d))
+	}
+	cfg = cfg.withDefaults()
+	sut, err := makeSUT(cfg)
+	if err != nil {
+		return rep, err
+	}
+	pools, err := buildCorpus(cfg, []*solver.Solver{sut})
+	if err != nil {
+		return rep, err
+	}
+	out := runTask(cfg, pools, sut, m.Iteration)
+	if !out.tested {
+		return rep, fmt.Errorf("artifacts: task (seed=%d logic=%s iter=%d) produced no fused test on replay", m.CampaignSeed, m.Logic, m.Iteration)
+	}
+	rep.Observed = out.run.Result
+	rep.FusedMatches = smtlib.Print(out.fused.Script) == string(wantFused)
+	rep.ResultMatches = out.run.Result.String() == m.Observed ||
+		(out.run.Crashed && m.Observed == "crash") ||
+		(out.run.InternalFault && m.Observed == "internal-fault")
+	rep.DefectFired = m.Defect == ""
+	for _, d := range out.run.DefectsFired {
+		if string(d) == m.Defect {
+			rep.DefectFired = true
+		}
+	}
+	return rep, nil
+}

@@ -408,11 +408,14 @@ func ExperimentRQ4(s bugdb.SUT, bugs []Bug, attempts int, seed int64) (RQ4Result
 			case bugdb.Crash:
 				hit = run.Crashed && fires(run.DefectsFired, b.Defect)
 			case bugdb.Soundness:
-				wrong := run.Result != solver.ResUnknown &&
+				// Only a definite verdict can contradict the oracle;
+				// unknown and fuel-exhausted runs carry none.
+				wrong := (run.Result == solver.ResSat || run.Result == solver.ResUnsat) &&
 					(run.Result == solver.ResSat) != (fused.Oracle == core.StatusSat)
 				hit = wrong && fires(run.DefectsFired, b.Defect)
 			default:
-				hit = run.Result == solver.ResUnknown && fires(run.DefectsFired, b.Defect)
+				hit = (run.Result == solver.ResUnknown || run.Result == solver.ResTimeout) &&
+					fires(run.DefectsFired, b.Defect)
 			}
 		}
 		if hit {

@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/bugdb"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
+	"repro/internal/watchdog"
 )
 
 // RunResult is one solver-under-test invocation with crash capture.
@@ -27,19 +30,30 @@ type RunResult struct {
 	Crashed      bool
 	CrashMsg     string
 	DefectsFired []solver.Defect
+	// InternalFault marks a panic that was NOT a simulated solver crash
+	// (*solver.CrashError): our own solver implementation failing. Such
+	// runs must never count toward the crash-bug totals — they are our
+	// bug, not the SUT's — so the harness quarantines the input instead.
+	InternalFault bool
+	FaultMsg      string
+	FaultStack    string
 }
 
 // RunSolver invokes the solver on a script, recovering crash-defect
-// panics the way the paper's harness observes solver segfaults.
+// panics the way the paper's harness observes solver segfaults. Any
+// other panic is the testing tool itself failing; it is captured with
+// its stack and reported as an internal fault, not a finding.
 func RunSolver(s *solver.Solver, sc *smtlib.Script) (out RunResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			out.Crashed = true
 			if ce, ok := r.(*solver.CrashError); ok {
+				out.Crashed = true
 				out.CrashMsg = ce.Error()
 				out.DefectsFired = append(out.DefectsFired, ce.Site)
 			} else {
-				out.CrashMsg = fmt.Sprint(r)
+				out.InternalFault = true
+				out.FaultMsg = fmt.Sprint(r)
+				out.FaultStack = string(debug.Stack())
 			}
 		}
 	}()
@@ -82,6 +96,22 @@ type Campaign struct {
 	ConcatOnly bool
 	// Fusion tunes the fusion engine.
 	Fusion core.Options
+	// Fuel bounds every solver invocation by a deterministic step count
+	// (see solver.Limits.Fuel): 0 uses the solver default, a positive
+	// value overrides it, and a negative value disables the meter.
+	Fuel int64
+	// WallTimeout, when positive, arms the wall-clock watchdog backstop
+	// around each fused solve. A run cut off by the watchdog is
+	// quarantined, never classified — and because wall-clock is
+	// scheduling-dependent, campaigns with a watchdog armed forfeit the
+	// bit-identical thread-count invariance that fuel preserves.
+	WallTimeout time.Duration
+	// ArtifactDir, when set, persists every finding (and quarantined
+	// input) as a replayable reproducer bundle under this directory.
+	ArtifactDir string
+	// InjectDefects adds defects beyond the release's own catalogue
+	// entries (fault-injection testing of the harness itself).
+	InjectDefects []solver.Defect
 }
 
 func (c Campaign) withDefaults() Campaign {
@@ -117,6 +147,17 @@ type Result struct {
 	// verification gate (internal/analysis) — generator or fusion
 	// defects triaged separately from solver verdicts.
 	InvalidInputs int
+	// Timeouts counts solves halted by fuel exhaustion. Those caused by
+	// a performance defect also surface as Performance bugs; the rest
+	// are genuinely hard instances.
+	Timeouts int
+	// Quarantined counts inputs withdrawn from classification: internal
+	// faults of our own solver, and runs cut off by the wall-clock
+	// watchdog. They never count as findings.
+	Quarantined int
+	// Artifacts lists reproducer bundle directories written this
+	// campaign (empty unless Campaign.ArtifactDir is set).
+	Artifacts []string
 }
 
 // BugByDefect returns the bug for a defect, if found.
@@ -189,6 +230,29 @@ type taskOutcome struct {
 	fused     *core.Fused
 	ancestors [2]*core.Seed
 	run       RunResult
+	// wallTimeout marks a run cut off by the wall-clock watchdog; the
+	// worker's solver instance is tainted and must be replaced.
+	wallTimeout bool
+}
+
+// makeSUT builds one solver-under-test instance for a campaign worker:
+// the release's catalogued defects plus any injected ones, under the
+// campaign's fuel limit.
+func makeSUT(cfg Campaign) (*solver.Solver, error) {
+	defects, err := bugdb.DefectsIn(cfg.SUT, cfg.Release)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range cfg.InjectDefects {
+		defects[d] = true
+	}
+	lim := solver.DefaultLimits()
+	if cfg.Fuel > 0 {
+		lim.Fuel = cfg.Fuel
+	} else if cfg.Fuel < 0 {
+		lim.Fuel = 0 // unlimited
+	}
+	return solver.New(solver.Config{Defects: defects, Limits: lim}), nil
 }
 
 // Run executes the campaign as a shared-corpus, work-stealing pipeline:
@@ -213,7 +277,7 @@ func Run(cfg Campaign) (*Result, error) {
 	// Solve call but not safe for concurrent use.
 	suts := make([]*solver.Solver, cfg.Threads)
 	for w := range suts {
-		sut, err := bugdb.NewSolver(cfg.SUT, cfg.Release, nil)
+		sut, err := makeSUT(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +299,17 @@ func Run(cfg Campaign) (*Result, error) {
 		go func(sut *solver.Solver) {
 			defer wg.Done()
 			for id := range taskCh {
-				outCh <- runTask(cfg, pools, sut, id)
+				out := runTask(cfg, pools, sut, id)
+				if out.wallTimeout {
+					// The watchdog abandoned a solve mid-flight: that
+					// solver instance may hold inconsistent state, so
+					// replace it. makeSUT cannot fail here — the same
+					// arguments succeeded when the pool was built.
+					if fresh, err := makeSUT(cfg); err == nil {
+						sut = fresh
+					}
+				}
+				outCh <- out
 			}
 		}(suts[w])
 	}
@@ -254,6 +328,10 @@ func Run(cfg Campaign) (*Result, error) {
 	found := map[solver.Defect]bool{}
 	pending := map[int]taskOutcome{}
 	next := 0
+	var aw *artifactWriter
+	if cfg.ArtifactDir != "" {
+		aw = newArtifactWriter(cfg.ArtifactDir)
+	}
 	for out := range outCh {
 		pending[out.id] = out
 		for {
@@ -263,10 +341,16 @@ func Run(cfg Campaign) (*Result, error) {
 			}
 			delete(pending, next)
 			next++
-			applyOutcome(res, found, cfg, cur)
+			applyOutcome(res, found, cfg, aw, cur)
 		}
 	}
 	sortBugs(res.Bugs)
+	if aw != nil {
+		if aw.err != nil {
+			return nil, fmt.Errorf("harness: writing artifacts: %w", aw.err)
+		}
+		res.Artifacts = aw.paths
+	}
 	return res, nil
 }
 
@@ -293,16 +377,29 @@ func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOu
 		var ge *analysis.GateError
 		return taskOutcome{id: id, invalid: errors.As(err, &ge)}
 	}
-	return taskOutcome{
+	out := taskOutcome{
 		id:        id,
 		tested:    true,
 		fused:     fused,
 		ancestors: [2]*core.Seed{s1, s2},
-		run:       RunSolver(sut, fused.Script),
 	}
+	if cfg.WallTimeout > 0 {
+		completed := watchdog.Run(cfg.WallTimeout, func() {
+			out.run = RunSolver(sut, fused.Script)
+		})
+		if !completed {
+			// The solve is still executing in the abandoned goroutine;
+			// out.run must not be touched again. Report for quarantine.
+			return taskOutcome{id: id, tested: true, fused: fused,
+				ancestors: [2]*core.Seed{s1, s2}, wallTimeout: true}
+		}
+		return out
+	}
+	out.run = RunSolver(sut, fused.Script)
+	return out
 }
 
-func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, out taskOutcome) {
+func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, out taskOutcome) {
 	if out.invalid {
 		res.InvalidInputs++
 		return
@@ -310,15 +407,74 @@ func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, out t
 	if !out.tested {
 		return // no fusable pair: skip
 	}
+	// Quarantine before classification: a watchdog cut-off or an
+	// internal fault of our own solver is never a finding. The campaign
+	// continues; the offending input is preserved for debugging.
+	if out.wallTimeout || out.run.InternalFault {
+		res.Quarantined++
+		if aw != nil {
+			m := manifestFor(cfg, out, "quarantine", "")
+			if out.wallTimeout {
+				m.Observed = "wall-timeout"
+				m.Reason = "wall-clock watchdog expired"
+			} else {
+				m.Observed = "internal-fault"
+				m.FaultMsg = out.run.FaultMsg
+				m.FaultStack = out.run.FaultStack
+			}
+			aw.write(m, out.ancestors, out.fused)
+		}
+		return
+	}
 	res.Tests++
-	logic := cfg.Logics[out.id/cfg.Iterations]
-	classify(res, found, cfg, logic, out.fused, out.ancestors, out.run)
+	classify(res, found, cfg, aw, out)
+}
+
+// manifestFor assembles the replay coordinates of one task outcome.
+func manifestFor(cfg Campaign, out taskOutcome, bugType string, defect solver.Defect) Manifest {
+	logicIdx, iter := out.id/cfg.Iterations, out.id%cfg.Iterations
+	fired := make([]string, 0, len(out.run.DefectsFired))
+	for _, d := range out.run.DefectsFired {
+		fired = append(fired, string(d))
+	}
+	m := Manifest{
+		Schema:       ManifestSchema,
+		SUT:          string(cfg.SUT),
+		Release:      cfg.Release,
+		BugType:      bugType,
+		Defect:       string(defect),
+		Oracle:       "",
+		Observed:     out.run.Result.String(),
+		Reason:       out.run.Reason,
+		DefectsFired: fired,
+		CampaignSeed: cfg.Seed,
+		Logic:        string(cfg.Logics[logicIdx]),
+		Iteration:    iter,
+		Iterations:   cfg.Iterations,
+		SeedPool:     cfg.SeedPool,
+		ConcatOnly:   cfg.ConcatOnly,
+		Fuel:         cfg.Fuel,
+	}
+	for _, d := range cfg.InjectDefects {
+		m.InjectDefects = append(m.InjectDefects, string(d))
+	}
+	if out.fused != nil {
+		m.Oracle = out.fused.Oracle.String()
+		m.Mode = out.fused.Mode.String()
+	}
+	if out.run.Crashed {
+		m.Observed = "crash"
+		m.Reason = out.run.CrashMsg
+	}
+	return m
 }
 
 // classify implements the incorrects/crashes bookkeeping of
-// Algorithm 1, extended with performance-defect observation and
-// duplicate triage by defect site.
-func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, logic gen.Logic, fused *core.Fused, ancestors [2]*core.Seed, run RunResult) {
+// Algorithm 1, extended with performance-defect observation, timeout
+// triage, and duplicate triage by defect site.
+func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, out taskOutcome) {
+	logic := cfg.Logics[out.id/cfg.Iterations]
+	fused, ancestors, run := out.fused, out.ancestors, out.run
 	record := func(kind bugdb.BugType) {
 		primary, ok := primaryDefect(run.DefectsFired, kind)
 		if !ok {
@@ -340,15 +496,30 @@ func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, logic gen
 			Ancestors: ancestors,
 			Mode:      fused.Mode,
 		})
+		if aw != nil {
+			aw.write(manifestFor(cfg, out, string(kind), primary), ancestors, fused)
+		}
 	}
 
 	switch {
 	case run.Crashed:
 		record(bugdb.Crash)
+	case run.Result == solver.ResTimeout:
+		// Fuel exhaustion. With a performance defect fired this is the
+		// paper's performance-bug observation; otherwise the instance
+		// was genuinely hard and only the timeout is counted. This case
+		// must precede the oracle-mismatch check: a timeout carries no
+		// verdict, so it can never be a soundness observation.
+		res.Timeouts++
+		if _, ok := primaryDefect(run.DefectsFired, bugdb.Performance); ok {
+			record(bugdb.Performance)
+		}
 	case run.Result == solver.ResUnknown:
 		res.Unknowns++
-		// A performance defect firing on the way to unknown is the
-		// paper's "performance bug" observation.
+		// A performance defect firing on the way to unknown is still
+		// the paper's "performance bug" observation; this path is taken
+		// when the campaign runs with the fuel meter disabled, where
+		// draining is a no-op and no timeout verdict exists.
 		if _, ok := primaryDefect(run.DefectsFired, bugdb.Performance); ok {
 			record(bugdb.Performance)
 		}
@@ -474,7 +645,10 @@ func vetSlot(cfg Campaign, logic gen.Logic, slot int, status core.Status, sut *s
 			return s, nil
 		}
 		run := RunSolver(sut, s.Script)
-		if run.Crashed {
+		// Discard seeds the SUT already misbehaves on — crashes, wrong
+		// verdicts, fuel exhaustion, or faults in our own solver — so
+		// every campaign finding requires combining seeds.
+		if run.Crashed || run.InternalFault || run.Result == solver.ResTimeout {
 			continue
 		}
 		if run.Result != solver.ResUnknown &&

@@ -221,10 +221,7 @@ func TestThreadCountInvariance(t *testing.T) {
 	}
 	for i, threads := range threadCounts[1:] {
 		r := results[i+1]
-		if r.Tests != ref.Tests || r.Unknowns != ref.Unknowns ||
-			r.Duplicates != ref.Duplicates ||
-			r.ReferenceDisagreements != ref.ReferenceDisagreements ||
-			r.InvalidInputs != ref.InvalidInputs {
+		if summary(r) != summary(ref) {
 			t.Errorf("Threads=%d counts differ from Threads=1: %+v vs %+v",
 				threads, summary(r), summary(ref))
 		}
@@ -245,8 +242,9 @@ func TestThreadCountInvariance(t *testing.T) {
 	}
 }
 
-func summary(r *Result) [5]int {
-	return [5]int{r.Tests, r.Unknowns, r.Duplicates, r.ReferenceDisagreements, r.InvalidInputs}
+func summary(r *Result) [7]int {
+	return [7]int{r.Tests, r.Unknowns, r.Duplicates, r.ReferenceDisagreements,
+		r.InvalidInputs, r.Timeouts, r.Quarantined}
 }
 
 // TestExactIterationCount checks that parallel mode runs exactly

@@ -1,5 +1,7 @@
 package regex
 
+import "repro/internal/fuel"
+
 // Nullable reports whether r accepts the empty string.
 func Nullable(r Regex) bool {
 	switch n := r.(type) {
@@ -93,6 +95,11 @@ type Matcher struct {
 	// Memoize disables derivative caching when false (used by the
 	// performance-defect simulation in the solver under test).
 	Memoize bool
+	// Fuel, when set, charges one unit per derivative construction.
+	// An exhausted meter makes Match answer false conservatively; the
+	// solver detects the exhaustion on the meter and reports a timeout
+	// instead of trusting the answer.
+	Fuel *fuel.Meter
 }
 
 // NewMatcher returns a matcher for r.
@@ -104,6 +111,9 @@ func NewMatcher(r Regex) *Matcher {
 func (m *Matcher) Match(s string) bool {
 	cur := m.root
 	for i := 0; i < len(s); i++ {
+		if !m.Fuel.Spend(1) {
+			return false
+		}
 		cur = m.derive(cur, s[i])
 		if _, dead := cur.(none); dead {
 			return false
@@ -132,6 +142,14 @@ func (m *Matcher) derive(r Regex, c byte) Regex {
 
 // Match is a convenience one-shot matcher.
 func Match(r Regex, s string) bool { return NewMatcher(r).Match(s) }
+
+// MatchFuel is Match under a fuel meter: derivative construction spends
+// from m, and an exhausted meter yields false (no match claimed).
+func MatchFuel(r Regex, s string, m *fuel.Meter) bool {
+	mm := NewMatcher(r)
+	mm.Fuel = m
+	return mm.Match(s)
+}
 
 // RelevantChars returns a small alphabet sufficient to distinguish the
 // languages reachable from r: every byte mentioned in literals and range
@@ -229,6 +247,12 @@ func IsEmpty(r Regex) bool {
 // shortlex order over the relevant alphabet. It is used by the string
 // solver to propose candidate assignments.
 func Enumerate(r Regex, maxLen, limit int) []string {
+	return EnumerateFuel(r, maxLen, limit, nil)
+}
+
+// EnumerateFuel is Enumerate under a fuel meter: one unit per explored
+// derivative state. Exhaustion truncates the enumeration.
+func EnumerateFuel(r Regex, maxLen, limit int, m *fuel.Meter) []string {
 	alphabet := RelevantChars(r)
 	var out []string
 	type state struct {
@@ -241,6 +265,9 @@ func Enumerate(r Regex, maxLen, limit int) []string {
 	processed := 0
 	for len(queue) > 0 && len(out) < limit && processed < 20000 {
 		processed++
+		if !m.Spend(1) {
+			break
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		if Nullable(cur.r) {

@@ -295,7 +295,7 @@ func refuteStrs(t *testing.T, decls map[string]ast.Sort, intVars map[string]bool
 		}
 		lits = append(lits, term)
 	}
-	return RefuteIntervals(lits, intVars, 8)
+	return RefuteIntervals(lits, intVars, 8, nil)
 }
 
 func TestRefuteIntervals(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"sort"
 
+	"repro/internal/fuel"
 	"repro/internal/solver/simplex"
 )
 
@@ -91,6 +92,10 @@ type Problem struct {
 	// NodeBudget bounds the branch-and-bound / disequality-split tree;
 	// exhausting it yields Unknown. Zero selects a default.
 	NodeBudget int
+	// Fuel is the unified deadline shared across the solver's engines:
+	// one unit is spent per tree node, and the meter is handed down to
+	// the simplex core. Exhaustion yields Unknown. Nil means unlimited.
+	Fuel *fuel.Meter
 }
 
 // Check decides the conjunction. On Sat, the returned assignment maps
@@ -101,17 +106,18 @@ func Check(p *Problem) (Status, map[string]*big.Rat) {
 	if budget == 0 {
 		budget = 400
 	}
-	c := &checker{intVars: p.IntVars, budget: budget}
+	c := &checker{intVars: p.IntVars, budget: budget, fuel: p.Fuel}
 	return c.solve(p.Atoms)
 }
 
 type checker struct {
 	intVars map[string]bool
 	budget  int
+	fuel    *fuel.Meter
 }
 
 func (c *checker) solve(atoms []Atom) (Status, map[string]*big.Rat) {
-	if c.budget <= 0 {
+	if c.budget <= 0 || !c.fuel.Spend(1) {
 		return Unknown, nil
 	}
 	c.budget--
@@ -145,6 +151,7 @@ func (c *checker) solve(atoms []Atom) (Status, map[string]*big.Rat) {
 	sort.Strings(names)
 
 	sx := simplex.New()
+	sx.Fuel = c.fuel
 	idx := map[string]int{}
 	for _, v := range names {
 		idx[v] = sx.NewVar()

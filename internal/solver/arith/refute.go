@@ -4,6 +4,7 @@ import (
 	"math/big"
 
 	"repro/internal/ast"
+	"repro/internal/fuel"
 )
 
 // Env maps variable names to interval enclosures.
@@ -117,12 +118,16 @@ func evalIntervalApp(n *ast.App, env Env, intVars map[string]bool) Interval {
 // Each literal must be a comparison (possibly under a single not, which
 // callers are expected to have eliminated by flipping the relation) or
 // an equality over Int/Real terms. It returns true only if the
-// conjunction is definitely unsatisfiable.
-func RefuteIntervals(lits []ast.Term, intVars map[string]bool, rounds int) bool {
+// conjunction is definitely unsatisfiable. One fuel unit is spent per
+// literal per round; exhaustion abandons the refinement (no proof).
+func RefuteIntervals(lits []ast.Term, intVars map[string]bool, rounds int, m *fuel.Meter) bool {
 	env := Env{}
 	for round := 0; round < rounds; round++ {
 		changed := false
 		for _, lit := range lits {
+			if !m.Spend(1) {
+				return false
+			}
 			app, ok := lit.(*ast.App)
 			if !ok {
 				continue

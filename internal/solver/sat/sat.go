@@ -5,7 +5,11 @@
 // internal/solver.
 package sat
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fuel"
+)
 
 // Status is the result of a Solve call.
 type Status int8
@@ -108,6 +112,11 @@ type Solver struct {
 	// MaxConflicts bounds the total conflicts per Solve call; exceeded
 	// budget yields Unknown. Zero means no bound.
 	MaxConflicts int64
+
+	// Fuel is the unified deadline shared with the theory engines: one
+	// unit is spent per conflict and per decision, and an exhausted
+	// meter makes Solve return Unknown. Nil means unlimited.
+	Fuel *fuel.Meter
 }
 
 // New returns an empty solver.
@@ -396,6 +405,10 @@ func (s *Solver) Solve() Status {
 		conflict := s.propagate()
 		if conflict != nil {
 			s.conflicts++
+			if !s.Fuel.Spend(1) {
+				s.backtrackTo(0)
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
@@ -424,6 +437,12 @@ func (s *Solver) Solve() Status {
 		l := s.pickBranch()
 		if l == 0 {
 			return Sat
+		}
+		if !s.Fuel.Spend(1) {
+			// Undo the pop of l's variable so a later call can redecide it.
+			s.order.push(l.Var())
+			s.backtrackTo(0)
+			return Unknown
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(l, nil)

@@ -5,6 +5,8 @@ import (
 	"math/big"
 	"sort"
 	"strconv"
+
+	"repro/internal/fuel"
 )
 
 // Solver is an exact simplex instance. Build one per theory check:
@@ -24,6 +26,11 @@ type Solver struct {
 	// MaxPivots bounds the pivoting loop; exceeding it reports an
 	// (extremely unlikely with Bland's rule) resource error.
 	MaxPivots int
+
+	// Fuel is the unified deadline shared with the other engines: one
+	// unit is spent per pivot-loop iteration, and exhaustion surfaces
+	// as the same resource error as MaxPivots. Nil means unlimited.
+	Fuel *fuel.Meter
 }
 
 // New returns an empty solver.
@@ -274,6 +281,9 @@ func (s *Solver) Check() (bool, error) {
 	for pivots := 0; ; pivots++ {
 		if pivots > s.MaxPivots {
 			return false, fmt.Errorf("simplex: pivot budget exhausted")
+		}
+		if !s.Fuel.Spend(1) {
+			return false, fmt.Errorf("simplex: fuel exhausted")
 		}
 		// Bland's rule: smallest violating basic variable.
 		bi := -1

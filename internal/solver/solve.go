@@ -47,11 +47,17 @@ func (s *Solver) solve(asserts []ast.Term) Outcome {
 		return Outcome{Result: ResUnknown, Reason: err.Error()}
 	}
 	ab.sat.MaxConflicts = 200000
+	ab.sat.Fuel = s.meter
 
 	sawUnknown := false
 	unknownStreak := 0
 	totalUnknowns := 0
 	for iter := 0; iter < s.cfg.Limits.MaxBoolModels; iter++ {
+		// The fuel deadline cuts the DPLL(T) loop even when the SAT core
+		// finds its next model without spending (pure propagation).
+		if s.meter.Exhausted() {
+			return Outcome{Result: ResUnknown, Reason: "fuel exhausted"}
+		}
 		switch ab.sat.Solve() {
 		case sat.Unsat:
 			if sawUnknown {
@@ -150,6 +156,12 @@ func (s *Solver) preprocessWithDefs(asserts []ast.Term) ([]ast.Term, []defEntry,
 
 // theoryCheck decides a conjunction of theory literals.
 func (s *Solver) theoryCheck(lits []ast.Term) (arith.Status, eval.Model) {
+	// Synthetic internal fault for the harness's containment tests: a
+	// panic that is NOT a *CrashError, i.e. our own solver failing
+	// rather than a simulated SUT crash.
+	if s.cfg.Has(DefFaultSyntheticPanic) && s.defect(DefFaultSyntheticPanic) {
+		panic("theory dispatch: injected synthetic internal fault")
+	}
 	if len(lits) == 0 {
 		return arith.Sat, eval.Model{}
 	}
@@ -175,7 +187,8 @@ func (s *Solver) stringTheory(lits []ast.Term) (arith.Status, eval.Model) {
 	s.hit(pTheoryStrings)
 	if s.cfg.Has(DefPerfRegexBlowup) && maxRegexDepth(lits) > 3 && s.defect(DefPerfRegexBlowup) {
 		s.hit(pTheoryPerfRegex)
-		return arith.Unknown, nil // simulated derivative blowup → timeout
+		s.meter.Drain() // simulated derivative blowup → deterministic timeout
+		return arith.Unknown, nil
 	}
 	s.hit(pTheoryStringsLen)
 	s.hit(pTheoryStringsSearch)
@@ -183,6 +196,7 @@ func (s *Solver) stringTheory(lits []ast.Term) (arith.Status, eval.Model) {
 		Lits:   lits,
 		Limits: s.cfg.Limits.Strings,
 		Defect: func(id string) bool { return s.defect(Defect(id)) },
+		Fuel:   s.meter,
 	})
 	switch st {
 	case arith.Sat:
@@ -250,7 +264,17 @@ func (s *Solver) arithTheory(lits []ast.Term) (arith.Status, eval.Model) {
 
 	if s.cfg.Has(DefPerfBnBBlowup) && nonlinear && len(intVars) >= 4 && s.defect(DefPerfBnBBlowup) {
 		s.hit(pTheoryPerfBnB)
-		return arith.Unknown, nil // simulated branch-and-bound blowup
+		s.meter.Drain() // simulated branch-and-bound blowup → timeout
+		return arith.Unknown, nil
+	}
+
+	// Injected hang defect: simplex cycling on wide linear integer
+	// problems (the shape fusion produces by joining both ancestors'
+	// variable sets). Draining the meter gives the signature of a
+	// cycling pivot loop — a deterministic timeout — without the cost.
+	if s.cfg.Has(DefHangSimplexCycle) && !nonlinear && len(intVars) >= 4 && s.defect(DefHangSimplexCycle) {
+		s.meter.Drain()
+		return arith.Unknown, nil
 	}
 
 	// Defect: bogus bound-conflict detection reports e ≤ c ∧ e ≥ c as
@@ -263,6 +287,7 @@ func (s *Solver) arithTheory(lits []ast.Term) (arith.Status, eval.Model) {
 		Atoms:      atoms,
 		IntVars:    intVars,
 		NodeBudget: s.cfg.Limits.ArithNodeBudget,
+		Fuel:       s.meter,
 	})
 	switch st {
 	case arith.Unsat:
@@ -292,7 +317,7 @@ func (s *Solver) arithTheory(lits []ast.Term) (arith.Status, eval.Model) {
 	}
 	// Nonlinear refinement: try interval refutation, then a small
 	// deterministic sample grid for unvalued variables.
-	if arith.RefuteIntervals(lits, intVarsOf(lits), 8) {
+	if arith.RefuteIntervals(lits, intVarsOf(lits), 8, s.meter) {
 		s.hit(pTheoryArithRefute)
 		return arith.Unsat, nil
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/coverage"
 	"repro/internal/eval"
+	"repro/internal/fuel"
 	"repro/internal/smtlib"
 	"repro/internal/solver/strings"
 )
@@ -26,6 +27,10 @@ const (
 	ResUnknown Result = iota
 	ResSat
 	ResUnsat
+	// ResTimeout means the unified fuel deadline (Limits.Fuel) expired
+	// before the solver could certify an answer — the deterministic
+	// analogue of the paper's wall-clock solver timeouts.
+	ResTimeout
 )
 
 func (r Result) String() string {
@@ -34,6 +39,8 @@ func (r Result) String() string {
 		return "sat"
 	case ResUnsat:
 		return "unsat"
+	case ResTimeout:
+		return "timeout"
 	default:
 		return "unknown"
 	}
@@ -105,11 +112,24 @@ const (
 	DefCrashBigSubstr     Defect = "cr-big-substr-index"
 )
 
-// Performance defects (artificial resource exhaustion → unknown).
+// Performance defects (resource exhaustion → timeout). All four sites
+// simulate their blowup by draining the solve's fuel meter: the
+// observable signature is identical to a genuine non-terminating
+// search — a deterministic ResTimeout — without the wall-clock cost.
 const (
-	DefPerfRegexBlowup Defect = "pf-regex-derivative-blowup"
-	DefPerfBnBBlowup   Defect = "pf-branch-and-bound-blowup"
+	DefPerfRegexBlowup  Defect = "pf-regex-derivative-blowup"
+	DefPerfBnBBlowup    Defect = "pf-branch-and-bound-blowup"
+	DefHangStringsDFS   Defect = "pf-strings-dfs-hang"
+	DefHangSimplexCycle Defect = "pf-simplex-cycle-hang"
 )
+
+// DefFaultSyntheticPanic is a fault-injection hook for the harness's
+// own containment tests: when enabled, the solver panics with a plain
+// error (not a *CrashError) on its first theory check, simulating a
+// bug in our infrastructure rather than in a solver under test. It is
+// deliberately absent from AllDefects and the bugdb catalogue — it is
+// not a defect of the simulated solvers.
+const DefFaultSyntheticPanic Defect = "if-synthetic-panic"
 
 // AllDefects lists every implemented defect site.
 var AllDefects = []Defect{
@@ -124,6 +144,7 @@ var AllDefects = []Defect{
 	DefCrashDeepNonlinear, DefCrashSelfDivision, DefCrashRangeBounds,
 	DefCrashBigSubstr,
 	DefPerfRegexBlowup, DefPerfBnBBlowup,
+	DefHangStringsDFS, DefHangSimplexCycle,
 }
 
 // Limits bounds solver effort (counters, not wall-clock, so runs are
@@ -135,7 +156,20 @@ type Limits struct {
 	ArithNodeBudget int
 	// Strings bounds the string search.
 	Strings strings.Limits
+	// Fuel is the unified step budget for one Solve call: every engine
+	// — CDCL conflicts and decisions, simplex pivots, branch-and-bound
+	// nodes, interval-refinement passes, strings DFS nodes, and regex
+	// derivative constructions — spends from one meter, and exhaustion
+	// turns an uncertified answer into ResTimeout. Zero or negative
+	// means unlimited (the pre-fuel behaviour).
+	Fuel int64
 }
+
+// DefaultFuel is the per-solve step budget of DefaultLimits: far above
+// what any generated or fused formula needs under the per-theory
+// budgets (measured in the low hundreds of thousands), yet finite, so
+// every default-configured solve provably halts.
+const DefaultFuel int64 = 10_000_000
 
 // DefaultLimits returns the limits used throughout the evaluation.
 func DefaultLimits() Limits {
@@ -143,6 +177,7 @@ func DefaultLimits() Limits {
 		MaxBoolModels:   150,
 		ArithNodeBudget: 300,
 		Strings:         strings.DefaultLimits(),
+		Fuel:            DefaultFuel,
 	}
 }
 
@@ -164,6 +199,9 @@ type Solver struct {
 	cfg    Config
 	fired  map[Defect]bool
 	defLog []defEntry // definitional inlinings recorded by preprocess
+	// meter is the per-Solve fuel meter; fresh per call, so solver
+	// reuse across tasks carries no deadline state.
+	meter *fuel.Meter
 	// freshCounter numbers skolem/ite-lift variables. Per-solver (not
 	// package-global) so parallel campaigns neither race on it nor let
 	// shard interleaving leak into generated names.
@@ -218,10 +256,19 @@ func (s *Solver) SolveScript(sc *smtlib.Script) Outcome {
 	return s.Solve(sc.Asserts())
 }
 
-// Solve decides the conjunction of the given boolean terms.
+// Solve decides the conjunction of the given boolean terms. Every call
+// runs under a fresh fuel meter (Limits.Fuel); when the meter expires
+// before an answer is certified, the outcome is ResTimeout. Sat and
+// unsat answers reached before exhaustion stand — they are certified
+// (or theory-valid) regardless of how much fuel remains.
 func (s *Solver) Solve(asserts []ast.Term) Outcome {
 	s.fired = map[Defect]bool{}
+	s.meter = fuel.NewMeter(s.cfg.Limits.Fuel)
 	out := s.solve(asserts)
+	if out.Result == ResUnknown && s.meter.Exhausted() {
+		out.Result = ResTimeout
+		out.Reason = "fuel exhausted"
+	}
 	switch out.Result {
 	case ResSat:
 		s.hit(pSolveSat)

@@ -42,6 +42,16 @@ func (c *checker) search() (Status, eval.Model) {
 		return Unknown, nil
 	}
 
+	// Injected hang defect: on wide search frontiers (the shape fused
+	// formulas produce, with both ancestors' variables plus the fusion
+	// variable in scope) the DFS "loops forever". Simulated by draining
+	// the fuel meter: the observable signature — a deterministic
+	// timeout — is the same, with no wall-clock cost.
+	if len(searchVars) >= 4 && c.defect("pf-strings-dfs-hang") {
+		c.fuel.Drain()
+		return Unknown, nil
+	}
+
 	nodes := c.lim.MaxNodes
 	ok, model := c.dfs(searchVars, cands, eval.Model{}, &nodes)
 	if ok {
@@ -113,7 +123,7 @@ func (c *checker) stringCandidates(v string) []eval.Value {
 	var raw []string
 	if rs := c.pos[v]; len(rs) > 0 {
 		r := regex.Inter(rs...)
-		raw = regex.Enumerate(r, maxLen+2, c.lim.MaxCandidates)
+		raw = regex.EnumerateFuel(r, maxLen+2, c.lim.MaxCandidates, c.fuel)
 	} else {
 		// Problem literals are strong candidates for equalities, and
 		// decimal renderings of integer constants matter for str.to_int
@@ -183,7 +193,7 @@ func abs(x int) int {
 
 func (c *checker) violatesNeg(v, s string) bool {
 	for _, r := range c.neg[v] {
-		if regex.Match(r, s) {
+		if regex.MatchFuel(r, s, c.fuel) {
 			return true
 		}
 	}
@@ -212,7 +222,7 @@ func (c *checker) shortlex(maxLen, limit int) []string {
 }
 
 func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Model, nodes *int) (bool, eval.Model) {
-	if *nodes <= 0 {
+	if *nodes <= 0 || !c.fuel.Spend(1) {
 		return false, nil
 	}
 	*nodes--

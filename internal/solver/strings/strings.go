@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/eval"
+	"repro/internal/fuel"
 	"repro/internal/regex"
 	"repro/internal/solver/arith"
 )
@@ -55,6 +56,12 @@ type Problem struct {
 	// (and the firing recorded by the caller) at each defect site in
 	// this theory. Site IDs are defined in internal/solver.
 	Defect func(id string) bool
+	// Fuel is the unified deadline shared across the solver's engines:
+	// the DFS spends one unit per node, candidate enumeration and
+	// negative-membership matching spend per derivative, and the meter
+	// is handed down to the length abstraction's arithmetic check.
+	// Nil means unlimited.
+	Fuel *fuel.Meter
 }
 
 // Check decides the conjunction. On Sat the model assigns every free
@@ -64,7 +71,7 @@ func Check(p *Problem) (Status, eval.Model) {
 	if lim.MaxLen == 0 {
 		lim = DefaultLimits()
 	}
-	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect}
+	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect, fuel: p.Fuel}
 	if c.defect == nil {
 		c.defect = func(string) bool { return false }
 	}
@@ -76,6 +83,7 @@ type checker struct {
 	litVars [][]string // free-variable names per literal (precomputed)
 	lim     Limits
 	defect  func(id string) bool
+	fuel    *fuel.Meter
 
 	strVars []string
 	intVars []string
@@ -402,7 +410,7 @@ func (c *checker) lengthAbstraction() (Status, map[string]int) {
 		intVars[v] = true
 	}
 
-	st, model := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars})
+	st, model := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars, Fuel: c.fuel})
 	if st == Unsat {
 		return Unsat, nil
 	}

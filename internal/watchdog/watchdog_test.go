@@ -1,0 +1,34 @@
+package watchdog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunCompletes(t *testing.T) {
+	ran := false
+	if !Run(time.Second, func() { ran = true }) {
+		t.Error("fast function should complete within the deadline")
+	}
+	if !ran {
+		t.Error("function did not run")
+	}
+}
+
+func TestRunTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	if Run(5*time.Millisecond, func() { <-release }) {
+		t.Error("blocked function should miss the deadline")
+	}
+}
+
+func TestZeroDeadlineRunsInline(t *testing.T) {
+	ran := false
+	if !Run(0, func() { ran = true }) {
+		t.Error("zero deadline should run inline and report completion")
+	}
+	if !ran {
+		t.Error("function did not run")
+	}
+}
