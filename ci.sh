@@ -35,6 +35,19 @@ echo "== go test -race (fault containment) =="
 go test -race -timeout 10m -run 'TestRunSolverInternalFault|TestHangDefect|TestSimplexHang|TestSyntheticPanic|TestFaultCampaign|TestArtifacts|TestWallTimeout' ./internal/harness/
 go test -race -timeout 5m ./internal/fuel/ ./internal/watchdog/
 
+echo "== go test -race (second oracles) =="
+# Model-validation and mutation oracles full-length under the race
+# detector, including the negative oracle: the clean reference solver
+# must produce zero invalid-model reports over the generator corpus.
+go test -race -timeout 10m -run 'TestModelValidationOracleFindsInjected|TestReferenceModelValidationClean|TestMutationCampaignFindsGuardCollapse' ./internal/harness/
+
+echo "== fuzz smoke =="
+# Bounded go-native fuzzing: each target gets a short budget on top of
+# its committed seed corpus. Failures minimize into testdata/fuzz/ and
+# become regression inputs.
+go test -fuzz='^FuzzParsePrintRoundTrip$' -fuzztime=10s ./internal/smtlib/
+go test -fuzz='^FuzzEvalTotal$' -fuzztime=10s ./internal/eval/
+
 echo "== bench gate =="
 # Short-mode regression gate: runs the fast benchmarks and compares
 # tests/s against the latest committed BENCH_<n>.json; a drop beyond

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] file.smt2
+//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] [-validate] file.smt2
 //
 // A solve that exhausts its deterministic step budget prints "timeout",
 // the analogue of a real solver hitting its time limit.
@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/bugdb"
+	"repro/internal/harness"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
 )
@@ -26,6 +27,7 @@ func main() {
 	sutName := flag.String("sut", "", "simulated solver under test (z3sim or cvc4sim); empty = reference solver")
 	release := flag.String("release", "trunk", "SUT release version")
 	showModel := flag.Bool("model", false, "print the model on sat")
+	validate := flag.Bool("validate", false, "on sat, evaluate the model against the input asserts; exit 3 if it fails")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget (0 = default, negative = unlimited)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,5 +86,11 @@ func main() {
 			fmt.Printf("  (define-fun %s () %s %s)\n", name, out.Model[name].Sort(), out.Model[name])
 		}
 		fmt.Println(")")
+	}
+	if *validate && out.Result == solver.ResSat {
+		if ok, reason := harness.ValidateModel(script, out.Model); !ok {
+			fmt.Fprintln(os.Stderr, "; invalid model:", reason)
+			os.Exit(3)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	yinyang [-sut z3sim] [-release trunk] [-logics QF_S,QF_NRA]
 //	        [-iters 200] [-pool 20] [-seed 1] [-threads 1]
+//	        [-mode fusion|mutate|both] [-nomodelcheck]
 //	        [-concat] [-outdir bugs/] [-artifacts artifacts/]
 //	        [-fuel 10000000] [-walltimeout 0]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -36,6 +37,8 @@ func main() {
 	pool := flag.Int("pool", 20, "seeds per status per logic")
 	seed := flag.Int64("seed", 1, "random seed")
 	threads := flag.Int("threads", 1, "parallel workers")
+	mode := flag.String("mode", "fusion", "test derivation: fusion, mutate, or both (interleaved)")
+	noModelCheck := flag.Bool("nomodelcheck", false, "disable the model-validation oracle on sat verdicts")
 	concat := flag.Bool("concat", false, "ConcatFuzz baseline (no variable fusion)")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget per solve (0 = solver default, negative = unlimited)")
 	wallTimeout := flag.Duration("walltimeout", 0, "wall-clock watchdog per solve (0 = off); cut-off runs are quarantined, and results stop being thread-count invariant")
@@ -67,17 +70,19 @@ func main() {
 	}
 
 	res, err := harness.Run(harness.Campaign{
-		SUT:         bugdb.SUT(*sutName),
-		Release:     *release,
-		Logics:      logics,
-		Iterations:  *iters,
-		SeedPool:    *pool,
-		Seed:        *seed,
-		Threads:     *threads,
-		ConcatOnly:  *concat,
-		Fuel:        *fuel,
-		WallTimeout: *wallTimeout,
-		ArtifactDir: *artifacts,
+		SUT:               bugdb.SUT(*sutName),
+		Release:           *release,
+		Logics:            logics,
+		Iterations:        *iters,
+		SeedPool:          *pool,
+		Seed:              *seed,
+		Threads:           *threads,
+		Mode:              harness.CampaignMode(*mode),
+		DisableModelCheck: *noModelCheck,
+		ConcatOnly:        *concat,
+		Fuel:              *fuel,
+		WallTimeout:       *wallTimeout,
+		ArtifactDir:       *artifacts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -155,6 +160,12 @@ func writeReduced(dir string, b harness.Bug, fuel int64) {
 			// Keep the wrongness: the reference must decide the opposite.
 			refOut := ref.SolveScript(c)
 			return refOut.Result != solver.ResUnknown && refOut.Result != b.Observed
+		case bugdb.InvalidModel:
+			if run.Result != solver.ResSat || !fired(run.DefectsFired, b.Defect) {
+				return false
+			}
+			valid, _ := harness.ValidateModel(c, run.Model)
+			return !valid
 		default:
 			// Performance: fuel exhaustion (or unknown, with the meter
 			// disabled) with the same defect firing.

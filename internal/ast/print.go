@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"strings"
 	"sync"
+	"unicode/utf8"
 )
 
 var builderPool = sync.Pool{New: func() any { return new(strings.Builder) }}
@@ -140,16 +141,29 @@ func exactDecimal(v *big.Rat) (string, bool) {
 
 func printStringLit(b *strings.Builder, s string) {
 	b.WriteByte('"')
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		switch {
-		case c == '"':
-			b.WriteString(`""`)
-		case c >= 0x20 && c < 0x7f:
-			b.WriteByte(c)
-		default:
-			fmt.Fprintf(b, `\u{%x}`, c)
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		// Invalid UTF-8 bytes and runes beyond SMT-LIB's \u{} range
+		// (2.6 caps escapes at 0x2FFFF) are escaped byte by byte.
+		// Re-parsing such an escape yields the rune with that value —
+		// normalizing the string — and printing the result reproduces
+		// the same escape, so printing stays a parse fixpoint.
+		if (r == utf8.RuneError && size == 1) || r > 0x2FFFF {
+			for j := 0; j < size; j++ {
+				fmt.Fprintf(b, `\u{%x}`, s[i+j])
+			}
+			i += size
+			continue
 		}
+		switch {
+		case r == '"':
+			b.WriteString(`""`)
+		case r >= 0x20 && r < 0x7f:
+			b.WriteByte(byte(r))
+		default:
+			fmt.Fprintf(b, `\u{%x}`, r)
+		}
+		i += size
 	}
 	b.WriteByte('"')
 }

@@ -36,6 +36,11 @@ const (
 	Crash       BugType = "crash"
 	Performance BugType = "performance"
 	UnknownType BugType = "unknown"
+	// InvalidModel marks defects whose sat verdict is right but whose
+	// reported model does not satisfy the input formula. Invisible to
+	// the paper's equisatisfiability oracle; found only by the
+	// harness's model-validation oracle.
+	InvalidModel BugType = "invalid-model"
 )
 
 // Entry is one catalogue row.
@@ -94,6 +99,9 @@ var Catalog = []Entry{
 	{solver.DefGeZeroStrengthen, Z3Sim, Soundness, "QF_NRA", 2019, 5, "", "bound normalizer strengthens ≥ 0 to > 0 after division rewriting"},
 	{solver.DefAbsNegFold, Z3Sim, Soundness, "NIA", 2018, 3, "", "abs of a negative literal keeps its sign"},
 	{solver.DefIntDivNegRound, Z3Sim, Soundness, "NIA", 2017, 1, "", "constant folding of div with negative divisor truncates instead of Euclidean rounding"},
+	{solver.DefLeGuardCollapse, Z3Sim, Soundness, "QF_NRA", 2019, 5, "", "conjunction simplifier drops a distinct guard sitting next to a non-strict bound"},
+	// --- z3sim invalid-model ---
+	{solver.DefModelStrLenTruncate, Z3Sim, InvalidModel, "QF_S", 2019, 6, "", "string witness truncated at the length-abstraction boundary in the reported model"},
 	// --- z3sim crash ---
 	{solver.DefCrashDeepNonlinear, Z3Sim, Crash, "NRA", 2018, 3, "", "rewriter stack overflow on deeply nested nonlinear terms"},
 	{solver.DefCrashSelfDivision, Z3Sim, Crash, "QF_NRA", 2019, 5, "", "assertion failure rewriting self-division of compound terms"},
@@ -113,6 +121,9 @@ var Catalog = []Entry{
 	{solver.DefDistinctPairDrop, CVC4Sim, Soundness, "QF_LIA", 2019, 3, "major", "pairwise distinct expansion drops the final pair"},
 	{solver.DefLenAbsPrefixFlip, CVC4Sim, Soundness, "QF_S", 2019, 3, "major", "prefix length abstraction emitted with flipped relation"},
 	{solver.DefBoundConflictEq, CVC4Sim, Soundness, "QF_LRA", 2019, 3, "major", "bogus bound-conflict detection on touching bounds (regression)"},
+	// --- cvc4sim invalid-model ---
+	{solver.DefModelStaleSimplex, CVC4Sim, InvalidModel, "QF_LIA", 2019, 2, "major", "stale simplex assignment leaked into the reported model"},
+	{solver.DefModelRealFloor, CVC4Sim, InvalidModel, "QF_LRA", 2019, 3, "", "model printer floors rational assignments to integers"},
 	// --- cvc4sim crash ---
 	{solver.DefCrashBigSubstr, CVC4Sim, Crash, "QF_SLIA", 2018, 1, "", "substr index overflowing an internal length type"},
 	// --- cvc4sim performance ---

@@ -1,8 +1,6 @@
 package eval
 
 import (
-	"errors"
-	"fmt"
 	"math/big"
 	"strings"
 
@@ -10,24 +8,20 @@ import (
 	"repro/internal/regex"
 )
 
-// ErrQuantifier is returned when a term contains a quantifier:
-// evaluation over unbounded domains is not decidable by enumeration, so
-// callers must treat quantified formulas separately.
-var ErrQuantifier = errors.New("eval: cannot evaluate quantified term")
-
-// ErrUnbound is wrapped when a free variable has no model entry.
-var ErrUnbound = errors.New("eval: unbound variable")
-
-// Term evaluates t under model m.
+// Term evaluates t under model m. Evaluation is total on well-sorted
+// terms over bound variables: any failure is a structured *Error (see
+// error.go) carrying the offending subterm and its path — never a
+// panic, even on ill-sorted terms forged through ast.UncheckedApp or
+// on models disagreeing with the term's sorts.
 func Term(t ast.Term, m Model) (Value, error) {
 	switch n := t.(type) {
 	case *ast.Var:
 		v, ok := m[n.Name]
 		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrUnbound, n.Name)
+			return nil, newErr(ErrUnbound, n, "%s has no model entry", n.Name)
 		}
 		if v.Sort() != n.VSort {
-			return nil, fmt.Errorf("eval: model value for %s has sort %v, want %v", n.Name, v.Sort(), n.VSort)
+			return nil, newErr(ErrSortMismatch, n, "model value for %s has sort %v, want %v", n.Name, v.Sort(), n.VSort)
 		}
 		return v, nil
 	case *ast.BoolLit:
@@ -39,11 +33,11 @@ func Term(t ast.Term, m Model) (Value, error) {
 	case *ast.StrLit:
 		return StrV(n.V), nil
 	case *ast.Quant:
-		return nil, ErrQuantifier
+		return nil, newErr(ErrQuantifier, n, "quantified subterm")
 	case *ast.App:
 		return app(n, m)
 	default:
-		return nil, fmt.Errorf("eval: unknown term %T", t)
+		return nil, newErr(ErrUnsupported, t, "unknown term type %T", t)
 	}
 }
 
@@ -55,7 +49,7 @@ func Bool(t ast.Term, m Model) (bool, error) {
 	}
 	b, ok := v.(BoolV)
 	if !ok {
-		return false, fmt.Errorf("eval: expected Bool, got %v", v.Sort())
+		return false, newErr(ErrSortMismatch, t, "expected Bool, got %v", v.Sort())
 	}
 	return bool(b), nil
 }
@@ -65,10 +59,10 @@ func app(n *ast.App, m Model) (Value, error) {
 	// need not define values along pruned branches.
 	switch n.Op {
 	case ast.OpAnd:
-		for _, a := range n.Args {
+		for i, a := range n.Args {
 			b, err := Bool(a, m)
 			if err != nil {
-				return nil, err
+				return nil, at(err, i)
 			}
 			if !b {
 				return BoolV(false), nil
@@ -76,10 +70,10 @@ func app(n *ast.App, m Model) (Value, error) {
 		}
 		return BoolV(true), nil
 	case ast.OpOr:
-		for _, a := range n.Args {
+		for i, a := range n.Args {
 			b, err := Bool(a, m)
 			if err != nil {
-				return nil, err
+				return nil, at(err, i)
 			}
 			if b {
 				return BoolV(true), nil
@@ -91,53 +85,75 @@ func app(n *ast.App, m Model) (Value, error) {
 		for i := 0; i < len(n.Args)-1; i++ {
 			b, err := Bool(n.Args[i], m)
 			if err != nil {
-				return nil, err
+				return nil, at(err, i)
 			}
 			if !b {
 				return BoolV(true), nil
 			}
 		}
-		return Term(n.Args[len(n.Args)-1], m)
+		last := len(n.Args) - 1
+		v, err := Term(n.Args[last], m)
+		if err != nil {
+			return nil, at(err, last)
+		}
+		return v, nil
 	case ast.OpIte:
 		c, err := Bool(n.Args[0], m)
 		if err != nil {
-			return nil, err
+			return nil, at(err, 0)
 		}
+		branch := 2
 		if c {
-			return Term(n.Args[1], m)
+			branch = 1
 		}
-		return Term(n.Args[2], m)
+		v, err := Term(n.Args[branch], m)
+		if err != nil {
+			return nil, at(err, branch)
+		}
+		return v, nil
 	case ast.OpStrInRe:
 		s, err := Term(n.Args[0], m)
 		if err != nil {
-			return nil, err
+			return nil, at(err, 0)
+		}
+		sv, ok := s.(StrV)
+		if !ok {
+			return nil, at(newErr(ErrSortMismatch, n.Args[0], "str.in_re subject has sort %v, want String", s.Sort()), 0)
 		}
 		re, err := evalRegex(n.Args[1], m)
 		if err != nil {
-			return nil, err
+			return nil, at(err, 1)
 		}
-		return BoolV(regex.Match(re, string(s.(StrV)))), nil
+		return BoolV(regex.Match(re, string(sv))), nil
 	}
 
 	args := make([]Value, len(n.Args))
 	for i, a := range n.Args {
 		v, err := Term(a, m)
 		if err != nil {
-			return nil, err
+			return nil, at(err, i)
 		}
 		args[i] = v
 	}
-	return applyOp(n.Op, args)
+	return applyOp(n, args)
 }
 
-func applyOp(op ast.Op, args []Value) (Value, error) {
-	switch op {
+func applyOp(n *ast.App, args []Value) (Value, error) {
+	switch n.Op {
 	case ast.OpNot:
-		return BoolV(!bool(args[0].(BoolV))), nil
+		b, err := argBool(n, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(!b), nil
 	case ast.OpXor:
 		out := false
-		for _, a := range args {
-			out = out != bool(a.(BoolV))
+		for i := range args {
+			b, err := argBool(n, args, i)
+			if err != nil {
+				return nil, err
+			}
+			out = out != b
 		}
 		return BoolV(out), nil
 	case ast.OpEq:
@@ -159,18 +175,30 @@ func applyOp(op ast.Op, args []Value) (Value, error) {
 
 	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpNeg, ast.OpRealDiv,
 		ast.OpIntDiv, ast.OpMod, ast.OpAbs:
-		return arith(op, args)
+		return arith(n, args)
 	case ast.OpLe, ast.OpLt, ast.OpGe, ast.OpGt:
-		return compareChain(op, args)
+		return compareChain(n, args)
 	case ast.OpToReal:
-		return RealV{V: new(big.Rat).SetInt(args[0].(IntV).V)}, nil
+		v, err := argInt(n, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return RealV{V: new(big.Rat).SetInt(v.V)}, nil
 	case ast.OpToInt:
-		return RealFloor(args[0].(RealV)), nil
+		v, err := argReal(n, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return RealFloor(v), nil
 	case ast.OpIsInt:
-		return BoolV(args[0].(RealV).V.IsInt()), nil
+		v, err := argReal(n, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(v.V.IsInt()), nil
 
 	default:
-		return stringOp(op, args)
+		return stringOp(n, args)
 	}
 }
 
@@ -185,45 +213,60 @@ func RealFloor(v RealV) IntV {
 	return IntV{V: q}
 }
 
-func arith(op ast.Op, args []Value) (Value, error) {
-	if _, isInt := args[0].(IntV); isInt {
-		return intArith(op, args)
+func arith(n *ast.App, args []Value) (Value, error) {
+	switch args[0].(type) {
+	case IntV:
+		return intArith(n, args)
+	case RealV:
+		return realArith(n, args)
+	default:
+		return nil, at(newErr(ErrSortMismatch, n.Args[0], "%v argument 0 has sort %v, want Int or Real", n.Op, args[0].Sort()), 0)
 	}
-	return realArith(op, args)
 }
 
-func intArith(op ast.Op, args []Value) (Value, error) {
-	get := func(i int) *big.Int { return args[i].(IntV).V }
-	out := new(big.Int)
-	switch op {
-	case ast.OpAdd:
-		out.Set(get(0))
-		for i := 1; i < len(args); i++ {
-			out.Add(out, get(i))
+func intArith(n *ast.App, args []Value) (Value, error) {
+	get := func(i int) (*big.Int, error) {
+		v, err := argInt(n, args, i)
+		if err != nil {
+			return nil, err
 		}
-	case ast.OpSub:
-		out.Set(get(0))
+		return v.V, nil
+	}
+	first, err := get(0)
+	if err != nil {
+		return nil, err
+	}
+	out := new(big.Int).Set(first)
+	switch n.Op {
+	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpIntDiv:
 		for i := 1; i < len(args); i++ {
-			out.Sub(out, get(i))
-		}
-	case ast.OpMul:
-		out.Set(get(0))
-		for i := 1; i < len(args); i++ {
-			out.Mul(out, get(i))
+			v, err := get(i)
+			if err != nil {
+				return nil, err
+			}
+			switch n.Op {
+			case ast.OpAdd:
+				out.Add(out, v)
+			case ast.OpSub:
+				out.Sub(out, v)
+			case ast.OpMul:
+				out.Mul(out, v)
+			case ast.OpIntDiv:
+				out = euclideanDiv(out, v)
+			}
 		}
 	case ast.OpNeg:
-		out.Neg(get(0))
+		out.Neg(out)
 	case ast.OpAbs:
-		out.Abs(get(0))
-	case ast.OpIntDiv:
-		out.Set(get(0))
-		for i := 1; i < len(args); i++ {
-			out = euclideanDiv(out, get(i))
-		}
+		out.Abs(out)
 	case ast.OpMod:
-		return IntV{V: euclideanMod(get(0), get(1))}, nil
+		v, err := get(1)
+		if err != nil {
+			return nil, err
+		}
+		return IntV{V: euclideanMod(out, v)}, nil
 	default:
-		return nil, fmt.Errorf("eval: bad int op %v", op)
+		return nil, newErr(ErrUnsupported, n, "operator %v on Int arguments", n.Op)
 	}
 	return IntV{V: out}, nil
 }
@@ -258,55 +301,85 @@ func euclideanMod(m, n *big.Int) *big.Int {
 	return r
 }
 
-func realArith(op ast.Op, args []Value) (Value, error) {
-	get := func(i int) *big.Rat { return args[i].(RealV).V }
-	out := new(big.Rat)
-	switch op {
-	case ast.OpAdd:
-		out.Set(get(0))
-		for i := 1; i < len(args); i++ {
-			out.Add(out, get(i))
+func realArith(n *ast.App, args []Value) (Value, error) {
+	get := func(i int) (*big.Rat, error) {
+		v, err := argReal(n, args, i)
+		if err != nil {
+			return nil, err
 		}
-	case ast.OpSub:
-		out.Set(get(0))
+		return v.V, nil
+	}
+	first, err := get(0)
+	if err != nil {
+		return nil, err
+	}
+	out := new(big.Rat).Set(first)
+	switch n.Op {
+	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpRealDiv:
 		for i := 1; i < len(args); i++ {
-			out.Sub(out, get(i))
-		}
-	case ast.OpMul:
-		out.Set(get(0))
-		for i := 1; i < len(args); i++ {
-			out.Mul(out, get(i))
-		}
-	case ast.OpNeg:
-		out.Neg(get(0))
-	case ast.OpRealDiv:
-		out.Set(get(0))
-		for i := 1; i < len(args); i++ {
-			d := get(i)
-			if d.Sign() == 0 {
-				// Fixed interpretation: x/0 = 0.
-				out.SetInt64(0)
-			} else {
-				out.Quo(out, d)
+			v, err := get(i)
+			if err != nil {
+				return nil, err
+			}
+			switch n.Op {
+			case ast.OpAdd:
+				out.Add(out, v)
+			case ast.OpSub:
+				out.Sub(out, v)
+			case ast.OpMul:
+				out.Mul(out, v)
+			case ast.OpRealDiv:
+				if v.Sign() == 0 {
+					// Fixed interpretation: x/0 = 0.
+					out.SetInt64(0)
+				} else {
+					out.Quo(out, v)
+				}
 			}
 		}
+	case ast.OpNeg:
+		out.Neg(out)
 	default:
-		return nil, fmt.Errorf("eval: bad real op %v", op)
+		return nil, newErr(ErrUnsupported, n, "operator %v on Real arguments", n.Op)
 	}
 	return RealV{V: out}, nil
 }
 
-func compareChain(op ast.Op, args []Value) (Value, error) {
-	cmp := func(a, b Value) int {
-		if x, ok := a.(IntV); ok {
-			return x.V.Cmp(b.(IntV).V)
+func compareChain(n *ast.App, args []Value) (Value, error) {
+	_, isInt := args[0].(IntV)
+	_, isReal := args[0].(RealV)
+	if !isInt && !isReal {
+		return nil, at(newErr(ErrSortMismatch, n.Args[0], "%v argument 0 has sort %v, want Int or Real", n.Op, args[0].Sort()), 0)
+	}
+	cmp := func(i int) (int, error) {
+		if isInt {
+			a, err := argInt(n, args, i)
+			if err != nil {
+				return 0, err
+			}
+			b, err := argInt(n, args, i+1)
+			if err != nil {
+				return 0, err
+			}
+			return a.V.Cmp(b.V), nil
 		}
-		return a.(RealV).V.Cmp(b.(RealV).V)
+		a, err := argReal(n, args, i)
+		if err != nil {
+			return 0, err
+		}
+		b, err := argReal(n, args, i+1)
+		if err != nil {
+			return 0, err
+		}
+		return a.V.Cmp(b.V), nil
 	}
 	for i := 0; i+1 < len(args); i++ {
-		c := cmp(args[i], args[i+1])
+		c, err := cmp(i)
+		if err != nil {
+			return nil, err
+		}
 		ok := false
-		switch op {
+		switch n.Op {
 		case ast.OpLe:
 			ok = c <= 0
 		case ast.OpLt:
@@ -323,44 +396,132 @@ func compareChain(op ast.Op, args []Value) (Value, error) {
 	return BoolV(true), nil
 }
 
-func stringOp(op ast.Op, args []Value) (Value, error) {
-	str := func(i int) string { return string(args[i].(StrV)) }
-	intArg := func(i int) *big.Int { return args[i].(IntV).V }
-	switch op {
+func stringOp(n *ast.App, args []Value) (Value, error) {
+	str := func(i int) (string, error) { return argStr(n, args, i) }
+	intAt := func(i int) (*big.Int, error) {
+		v, err := argInt(n, args, i)
+		if err != nil {
+			return nil, err
+		}
+		return v.V, nil
+	}
+	// str2 evaluates the common two-string-argument prelude.
+	str2 := func() (string, string, error) {
+		a, err := str(0)
+		if err != nil {
+			return "", "", err
+		}
+		b, err := str(1)
+		return a, b, err
+	}
+	switch n.Op {
 	case ast.OpStrConcat:
 		var b strings.Builder
 		for i := range args {
-			b.WriteString(str(i))
+			s, err := str(i)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(s)
 		}
 		return StrV(b.String()), nil
 	case ast.OpStrLen:
-		return IntV{V: big.NewInt(int64(len(str(0))))}, nil
+		s, err := str(0)
+		if err != nil {
+			return nil, err
+		}
+		return IntV{V: big.NewInt(int64(len(s)))}, nil
 	case ast.OpStrAt:
-		return StrV(strAt(str(0), intArg(1))), nil
+		s, err := str(0)
+		if err != nil {
+			return nil, err
+		}
+		i, err := intAt(1)
+		if err != nil {
+			return nil, err
+		}
+		return StrV(strAt(s, i)), nil
 	case ast.OpStrSubstr:
-		return StrV(strSubstr(str(0), intArg(1), intArg(2))), nil
+		s, err := str(0)
+		if err != nil {
+			return nil, err
+		}
+		i, err := intAt(1)
+		if err != nil {
+			return nil, err
+		}
+		ln, err := intAt(2)
+		if err != nil {
+			return nil, err
+		}
+		return StrV(strSubstr(s, i, ln)), nil
 	case ast.OpStrIndexOf:
-		return IntV{V: strIndexOf(str(0), str(1), intArg(2))}, nil
-	case ast.OpStrReplace:
-		return StrV(strReplace(str(0), str(1), str(2))), nil
-	case ast.OpStrReplaceAll:
-		return StrV(strReplaceAll(str(0), str(1), str(2))), nil
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		from, err := intAt(2)
+		if err != nil {
+			return nil, err
+		}
+		return IntV{V: strIndexOf(s, t, from)}, nil
+	case ast.OpStrReplace, ast.OpStrReplaceAll:
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(2)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == ast.OpStrReplace {
+			return StrV(strReplace(s, t, u)), nil
+		}
+		return StrV(strReplaceAll(s, t, u)), nil
 	case ast.OpStrPrefixOf:
-		return BoolV(strings.HasPrefix(str(1), str(0))), nil
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(strings.HasPrefix(t, s)), nil
 	case ast.OpStrSuffixOf:
-		return BoolV(strings.HasSuffix(str(1), str(0))), nil
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(strings.HasSuffix(t, s)), nil
 	case ast.OpStrContains:
-		return BoolV(strings.Contains(str(0), str(1))), nil
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(strings.Contains(s, t)), nil
 	case ast.OpStrToInt:
-		return IntV{V: StrToInt(str(0))}, nil
+		s, err := str(0)
+		if err != nil {
+			return nil, err
+		}
+		return IntV{V: StrToInt(s)}, nil
 	case ast.OpStrFromInt:
-		return StrV(StrFromInt(intArg(0))), nil
+		v, err := intAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return StrV(StrFromInt(v)), nil
 	case ast.OpStrLtOp:
-		return BoolV(str(0) < str(1)), nil
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(s < t), nil
 	case ast.OpStrLeOp:
-		return BoolV(str(0) <= str(1)), nil
+		s, t, err := str2()
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(s <= t), nil
 	default:
-		return nil, fmt.Errorf("eval: unsupported operator %v", op)
+		return nil, newErr(ErrUnsupported, n, "operator %v", n.Op)
 	}
 }
 
@@ -450,25 +611,36 @@ func StrFromInt(n *big.Int) string {
 func evalRegex(t ast.Term, m Model) (regex.Regex, error) {
 	app, ok := t.(*ast.App)
 	if !ok {
-		return nil, fmt.Errorf("eval: non-application RegLan term")
+		return nil, newErr(ErrUnsupported, t, "non-application RegLan term %T", t)
+	}
+	// strArg evaluates a String-sorted argument of the regex leaf.
+	strArg := func(i int) (string, error) {
+		v, err := Term(app.Args[i], m)
+		if err != nil {
+			return "", at(err, i)
+		}
+		sv, ok := v.(StrV)
+		if !ok {
+			return "", at(newErr(ErrSortMismatch, app.Args[i], "%v argument %d has sort %v, want String", app.Op, i, v.Sort()), i)
+		}
+		return string(sv), nil
 	}
 	switch app.Op {
 	case ast.OpStrToRe:
-		v, err := Term(app.Args[0], m)
+		s, err := strArg(0)
 		if err != nil {
 			return nil, err
 		}
-		return regex.Lit(string(v.(StrV))), nil
+		return regex.Lit(s), nil
 	case ast.OpReRange:
-		lo, err := Term(app.Args[0], m)
+		l, err := strArg(0)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := Term(app.Args[1], m)
+		h, err := strArg(1)
 		if err != nil {
 			return nil, err
 		}
-		l, h := string(lo.(StrV)), string(hi.(StrV))
 		if len(l) != 1 || len(h) != 1 {
 			return regex.None(), nil
 		}
@@ -477,11 +649,11 @@ func evalRegex(t ast.Term, m Model) (regex.Regex, error) {
 	subs := make([]regex.Regex, len(app.Args))
 	for i, a := range app.Args {
 		if a.Sort() != ast.SortRegLan {
-			return nil, fmt.Errorf("eval: unexpected %v argument to %v", a.Sort(), app.Op)
+			return nil, at(newErr(ErrSortMismatch, a, "%v argument %d has sort %v, want RegLan", app.Op, i, a.Sort()), i)
 		}
 		s, err := evalRegex(a, m)
 		if err != nil {
-			return nil, err
+			return nil, at(err, i)
 		}
 		subs[i] = s
 	}
@@ -509,6 +681,6 @@ func evalRegex(t ast.Term, m Model) (regex.Regex, error) {
 	case ast.OpReNone:
 		return regex.None(), nil
 	default:
-		return nil, fmt.Errorf("eval: unsupported RegLan operator %v", app.Op)
+		return nil, newErr(ErrUnsupported, app, "RegLan operator %v", app.Op)
 	}
 }

@@ -51,6 +51,12 @@ type Manifest struct {
 	ConcatOnly bool   `json:"concat_only"`
 	Fuel       int64  `json:"fuel"` // 0 = solver default, <0 = unlimited
 	Mode       string `json:"mode,omitempty"`
+	// CampaignMode is the campaign's test-derivation strategy (fusion,
+	// mutate, both); "" in older manifests means fusion.
+	CampaignMode string `json:"campaign_mode,omitempty"`
+	// MutationRules lists the operator-mutation rules applied to derive
+	// the test case (mutation findings only).
+	MutationRules []string `json:"mutation_rules,omitempty"`
 	// InjectDefects mirrors Campaign.InjectDefects so fault-injection
 	// findings rebuild the same augmented solver on replay.
 	InjectDefects []string `json:"inject_defects,omitempty"`
@@ -79,14 +85,15 @@ func bugHash(sut, release, defect, fusedText string) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// write persists one bundle: seed1.smt2, seed2.smt2, fused.smt2, and
-// manifest.json under dir/<bughash>/. Returns the bundle path ("" when
-// skipped as a duplicate).
-func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, fused *core.Fused) string {
+// write persists one bundle: seed1.smt2, seed2.smt2, fused.smt2 (the
+// test case — a fused script or a mutant), and manifest.json under
+// dir/<bughash>/. Returns the bundle path ("" when skipped as a
+// duplicate).
+func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtlib.Script) string {
 	if w == nil {
 		return ""
 	}
-	fusedText := smtlib.Print(fused.Script)
+	fusedText := smtlib.Print(script)
 	key := bugHash(m.SUT, m.Release, m.Defect+m.FaultMsg, fusedText)
 	if w.written[key] {
 		return ""
@@ -181,6 +188,7 @@ func Replay(bundleDir string) (ReplayReport, error) {
 		Threads:    1,
 		ConcatOnly: m.ConcatOnly,
 		Fuel:       m.Fuel,
+		Mode:       CampaignMode(m.CampaignMode),
 	}
 	for _, d := range m.InjectDefects {
 		cfg.InjectDefects = append(cfg.InjectDefects, solver.Defect(d))
@@ -199,7 +207,7 @@ func Replay(bundleDir string) (ReplayReport, error) {
 		return rep, fmt.Errorf("artifacts: task (seed=%d logic=%s iter=%d) produced no fused test on replay", m.CampaignSeed, m.Logic, m.Iteration)
 	}
 	rep.Observed = out.run.Result
-	rep.FusedMatches = smtlib.Print(out.fused.Script) == string(wantFused)
+	rep.FusedMatches = smtlib.Print(out.testScript()) == string(wantFused)
 	rep.ResultMatches = out.run.Result.String() == m.Observed ||
 		(out.run.Crashed && m.Observed == "crash") ||
 		(out.run.InternalFault && m.Observed == "internal-fault")

@@ -413,6 +413,10 @@ func ExperimentRQ4(s bugdb.SUT, bugs []Bug, attempts int, seed int64) (RQ4Result
 				wrong := (run.Result == solver.ResSat || run.Result == solver.ResUnsat) &&
 					(run.Result == solver.ResSat) != (fused.Oracle == core.StatusSat)
 				hit = wrong && fires(run.DefectsFired, b.Defect)
+			case bugdb.InvalidModel:
+				valid, _ := ValidateModel(fused.Script, run.Model)
+				hit = run.Result == solver.ResSat && !valid &&
+					fires(run.DefectsFired, b.Defect)
 			default:
 				hit = (run.Result == solver.ResUnknown || run.Result == solver.ResTimeout) &&
 					fires(run.DefectsFired, b.Defect)
@@ -554,7 +558,7 @@ func RenderFig8(f *Fig8) string {
 
 	ta, tc := TypesOf(f.Z3), TypesOf(f.CVC4)
 	b.WriteString("(b) Type            z3sim  cvc4sim  Total\n")
-	for _, ty := range []bugdb.BugType{bugdb.Soundness, bugdb.Crash, bugdb.Performance, bugdb.UnknownType} {
+	for _, ty := range []bugdb.BugType{bugdb.Soundness, bugdb.InvalidModel, bugdb.Crash, bugdb.Performance, bugdb.UnknownType} {
 		fmt.Fprintf(&b, "    %-12s %6d %8d %6d\n", ty, ta[ty], tc[ty], ta[ty]+tc[ty])
 	}
 

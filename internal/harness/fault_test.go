@@ -176,58 +176,87 @@ func TestFaultCampaignThreadInvariance(t *testing.T) {
 	}
 }
 
-// TestArtifactsRoundTripAndReplay checks the reproducer pipeline: every
-// finding of a campaign with an artifact directory lands as a bundle
-// whose .smt2 files re-parse, and whose manifest coordinates alone
-// regenerate the identical fused formula with the identical verdict.
+// TestArtifactsRoundTripAndReplay checks the reproducer pipeline in
+// both campaign modes: every finding of a campaign with an artifact
+// directory lands as a bundle whose .smt2 files re-parse, and whose
+// manifest coordinates alone regenerate the identical test case —
+// fused formula or mutant — with the identical verdict.
 func TestArtifactsRoundTripAndReplay(t *testing.T) {
-	dir := t.TempDir()
-	res, err := Run(Campaign{
-		SUT:         bugdb.Z3Sim,
-		Logics:      []gen.Logic{gen.QFS},
-		Iterations:  shortIters(60),
-		SeedPool:    8,
-		Seed:        7,
-		ArtifactDir: dir,
-	})
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name string
+		cfg  Campaign
+	}{
+		{"fusion", Campaign{
+			SUT:        bugdb.Z3Sim,
+			Logics:     []gen.Logic{gen.QFS},
+			Iterations: shortIters(60),
+			SeedPool:   8,
+			Seed:       7,
+		}},
+		{"mutation", Campaign{
+			SUT:        bugdb.Z3Sim,
+			Logics:     []gen.Logic{gen.QFNRA},
+			Iterations: shortIters(150),
+			SeedPool:   8,
+			Seed:       31,
+			Mode:       ModeMutate,
+		}},
 	}
-	if len(res.Artifacts) == 0 {
-		t.Fatal("campaign with findings wrote no artifact bundles")
-	}
-	if len(res.Artifacts) < len(res.Bugs) {
-		t.Errorf("%d bundles for %d bugs", len(res.Artifacts), len(res.Bugs))
-	}
-	replayed := false
-	for _, bundle := range res.Artifacts {
-		for _, f := range []string{"seed1.smt2", "seed2.smt2", "fused.smt2"} {
-			data, err := os.ReadFile(filepath.Join(bundle, f))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := tc.cfg
+			cfg.ArtifactDir = dir
+			res, err := Run(cfg)
 			if err != nil {
-				t.Fatalf("bundle %s missing %s: %v", bundle, f, err)
+				t.Fatal(err)
 			}
-			if _, err := smtlib.ParseScript(string(data)); err != nil {
-				t.Errorf("%s/%s does not re-parse: %v", bundle, f, err)
+			if len(res.Artifacts) == 0 {
+				t.Fatal("campaign with findings wrote no artifact bundles")
 			}
-		}
-		m, err := ReadManifest(bundle)
-		if err != nil {
-			t.Fatalf("manifest: %v", err)
-		}
-		if m.BugType == "quarantine" {
-			continue
-		}
-		rep, err := Replay(bundle)
-		if err != nil {
-			t.Fatalf("replay %s: %v", bundle, err)
-		}
-		if !rep.Exact() {
-			t.Errorf("bundle %s (defect %s) did not replay exactly: %+v", bundle, m.Defect, rep)
-		}
-		replayed = true
-	}
-	if !replayed {
-		t.Error("no non-quarantine bundle was replayed")
+			if len(res.Artifacts) < len(res.Bugs) {
+				t.Errorf("%d bundles for %d bugs", len(res.Artifacts), len(res.Bugs))
+			}
+			replayed := false
+			for _, bundle := range res.Artifacts {
+				for _, f := range []string{"seed1.smt2", "seed2.smt2", "fused.smt2"} {
+					data, err := os.ReadFile(filepath.Join(bundle, f))
+					if err != nil {
+						t.Fatalf("bundle %s missing %s: %v", bundle, f, err)
+					}
+					if _, err := smtlib.ParseScript(string(data)); err != nil {
+						t.Errorf("%s/%s does not re-parse: %v", bundle, f, err)
+					}
+				}
+				m, err := ReadManifest(bundle)
+				if err != nil {
+					t.Fatalf("manifest: %v", err)
+				}
+				if m.CampaignMode != string(cfg.Mode) && !(m.CampaignMode == "fusion" && cfg.Mode == "") {
+					t.Errorf("bundle %s campaign mode %q, want %q", bundle, m.CampaignMode, cfg.Mode)
+				}
+				if cfg.Mode == ModeMutate && m.BugType != "quarantine" {
+					if m.Mode != "mutation" || len(m.MutationRules) == 0 {
+						t.Errorf("mutation bundle %s lacks mutation metadata: mode=%q rules=%v",
+							bundle, m.Mode, m.MutationRules)
+					}
+				}
+				if m.BugType == "quarantine" {
+					continue
+				}
+				rep, err := Replay(bundle)
+				if err != nil {
+					t.Fatalf("replay %s: %v", bundle, err)
+				}
+				if !rep.Exact() {
+					t.Errorf("bundle %s (defect %s) did not replay exactly: %+v", bundle, m.Defect, rep)
+				}
+				replayed = true
+			}
+			if !replayed {
+				t.Error("no non-quarantine bundle was replayed")
+			}
+		})
 	}
 }
 

@@ -17,7 +17,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bugdb"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/mutate"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
 	"repro/internal/watchdog"
@@ -25,7 +27,10 @@ import (
 
 // RunResult is one solver-under-test invocation with crash capture.
 type RunResult struct {
-	Result       solver.Result
+	Result solver.Result
+	// Model is the solver's reported witness when Result is sat; the
+	// model-validation oracle evaluates it against the input script.
+	Model        eval.Model
 	Reason       string
 	Crashed      bool
 	CrashMsg     string
@@ -60,6 +65,7 @@ func RunSolver(s *solver.Solver, sc *smtlib.Script) (out RunResult) {
 	res := s.SolveScript(sc)
 	return RunResult{
 		Result:       res.Result,
+		Model:        res.Model,
 		Reason:       res.Reason,
 		DefectsFired: res.DefectsFired,
 	}
@@ -74,11 +80,27 @@ type Bug struct {
 	Observed solver.Result
 	Script   *smtlib.Script
 	// Ancestors are the two seeds whose fusion triggered the bug
-	// (used by the RQ4 retrigger experiment).
+	// (used by the RQ4 retrigger experiment). Mutation findings carry
+	// their single ancestor in both slots.
 	Ancestors [2]*core.Seed
-	// Mode is the fusion mode that triggered the bug.
+	// Mode is the fusion mode that triggered the bug (fusion tasks only).
 	Mode core.Mode
+	// Rules lists the applied mutation rules (mutation tasks only).
+	Rules []string
 }
+
+// CampaignMode selects how a campaign derives test cases from seeds.
+type CampaignMode string
+
+const (
+	// ModeFusion runs the paper's semantic-fusion pipeline (default).
+	ModeFusion CampaignMode = "fusion"
+	// ModeMutate runs type-aware operator mutation of single seeds.
+	ModeMutate CampaignMode = "mutate"
+	// ModeBoth interleaves fusion (even iterations) and mutation (odd
+	// iterations) within each logic's task stream.
+	ModeBoth CampaignMode = "both"
+)
 
 // Campaign configures one fuzzing run (Algorithm 1 plus seed-pool
 // construction).
@@ -92,6 +114,12 @@ type Campaign struct {
 	SeedPool int
 	Seed     int64
 	Threads  int // ≤ 1 = single-threaded
+	// Mode selects the test-derivation strategy: fusion (default),
+	// mutate, or both (interleaved by iteration parity).
+	Mode CampaignMode
+	// DisableModelCheck turns off the model-validation oracle, which
+	// otherwise evaluates every sat model against the input script.
+	DisableModelCheck bool
 	// ConcatOnly switches to the ConcatFuzz baseline (RQ4).
 	ConcatOnly bool
 	// Fusion tunes the fusion engine.
@@ -129,6 +157,9 @@ func (c Campaign) withDefaults() Campaign {
 	}
 	if c.Threads == 0 {
 		c.Threads = 1
+	}
+	if c.Mode == "" {
+		c.Mode = ModeFusion
 	}
 	return c
 }
@@ -224,15 +255,33 @@ func taskSeed(seed int64, logic gen.Logic, iter int) int64 {
 // taskOutcome is the raw result of one fusion+solve task, produced by
 // any worker and classified later in deterministic task order.
 type taskOutcome struct {
-	id        int
-	invalid   bool // fusion rejected by the static verification gate
-	tested    bool // a fused script was produced and solved
+	id      int
+	invalid bool // test derivation rejected by the static gate
+	tested  bool // a test script was produced and solved
+	// Exactly one of fused/mutant is set on a tested outcome.
 	fused     *core.Fused
+	mutant    *mutate.Mutant
 	ancestors [2]*core.Seed
 	run       RunResult
 	// wallTimeout marks a run cut off by the wall-clock watchdog; the
 	// worker's solver instance is tainted and must be replaced.
 	wallTimeout bool
+}
+
+// testScript is the script that was handed to the solver under test.
+func (o *taskOutcome) testScript() *smtlib.Script {
+	if o.mutant != nil {
+		return o.mutant.Script
+	}
+	return o.fused.Script
+}
+
+// oracle is the expected verdict of the test script.
+func (o *taskOutcome) oracle() core.Status {
+	if o.mutant != nil {
+		return o.mutant.Oracle
+	}
+	return o.fused.Oracle
 }
 
 // makeSUT builds one solver-under-test instance for a campaign worker:
@@ -272,6 +321,14 @@ func makeSUT(cfg Campaign) (*solver.Solver, error) {
 // value: parallelism is a pure speedup, not a different experiment.
 func Run(cfg Campaign) (*Result, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Mode {
+	case ModeFusion, ModeMutate, ModeBoth:
+	default:
+		return nil, fmt.Errorf("harness: unknown campaign mode %q", cfg.Mode)
+	}
+	if cfg.ConcatOnly && cfg.Mode != ModeFusion {
+		return nil, fmt.Errorf("harness: ConcatOnly requires fusion mode, got %q", cfg.Mode)
+	}
 
 	// One solver instance per worker: instances are deterministic per
 	// Solve call but not safe for concurrent use.
@@ -354,8 +411,11 @@ func Run(cfg Campaign) (*Result, error) {
 	return res, nil
 }
 
-// runTask executes one fusion+solve task. Everything random in the task
-// flows from its own deterministic RNG.
+// runTask executes one derive+solve task — fusion of a seed pair or
+// mutation of a single seed, depending on the campaign mode. Everything
+// random in the task flows from its own deterministic RNG, and the mode
+// of an iteration is a pure function of (Mode, iter), so campaigns stay
+// bit-identical for any thread count.
 func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOutcome {
 	logicIdx, iter := id/cfg.Iterations, id%cfg.Iterations
 	logic := cfg.Logics[logicIdx]
@@ -365,37 +425,52 @@ func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOu
 		oracle = core.StatusUnsat
 	}
 	pool := pools[logicIdx]
-	s1, s2 := pool.pick(oracle, rng), pool.pick(oracle, rng)
-	var fused *core.Fused
-	var err error
-	if cfg.ConcatOnly {
-		fused, err = core.Concat(s1, s2, rng)
+	out := taskOutcome{id: id}
+	if cfg.Mode == ModeMutate || (cfg.Mode == ModeBoth && iter%2 == 1) {
+		s1 := pool.pick(oracle, rng)
+		mut, err := mutate.Mutate(s1, rng, mutate.Options{})
+		if err != nil {
+			// A seed with no applicable mutation site is a skip, not a
+			// defect; a lost witness or gate rejection is a mutation-engine
+			// failure triaged like an invalid fusion.
+			var ge *analysis.GateError
+			invalid := errors.As(err, &ge) || errors.Is(err, mutate.ErrWitnessLost)
+			return taskOutcome{id: id, invalid: invalid}
+		}
+		out.mutant = mut
+		out.ancestors = [2]*core.Seed{s1, s1}
 	} else {
-		fused, err = core.Fuse(s1, s2, rng, cfg.Fusion)
+		s1, s2 := pool.pick(oracle, rng), pool.pick(oracle, rng)
+		var fused *core.Fused
+		var err error
+		if cfg.ConcatOnly {
+			fused, err = core.Concat(s1, s2, rng)
+		} else {
+			fused, err = core.Fuse(s1, s2, rng, cfg.Fusion)
+		}
+		if err != nil {
+			var ge *analysis.GateError
+			return taskOutcome{id: id, invalid: errors.As(err, &ge)}
+		}
+		out.fused = fused
+		out.ancestors = [2]*core.Seed{s1, s2}
 	}
-	if err != nil {
-		var ge *analysis.GateError
-		return taskOutcome{id: id, invalid: errors.As(err, &ge)}
-	}
-	out := taskOutcome{
-		id:        id,
-		tested:    true,
-		fused:     fused,
-		ancestors: [2]*core.Seed{s1, s2},
-	}
+	out.tested = true
+	script := out.testScript()
 	if cfg.WallTimeout > 0 {
 		completed := watchdog.Run(cfg.WallTimeout, func() {
-			out.run = RunSolver(sut, fused.Script)
+			out.run = RunSolver(sut, script)
 		})
 		if !completed {
-			// The solve is still executing in the abandoned goroutine;
-			// out.run must not be touched again. Report for quarantine.
-			return taskOutcome{id: id, tested: true, fused: fused,
-				ancestors: [2]*core.Seed{s1, s2}, wallTimeout: true}
+			// The solve is still executing in the abandoned goroutine,
+			// which owns out.run; build the quarantine report from the
+			// untouched fields only.
+			return taskOutcome{id: id, tested: true, fused: out.fused,
+				mutant: out.mutant, ancestors: out.ancestors, wallTimeout: true}
 		}
 		return out
 	}
-	out.run = RunSolver(sut, fused.Script)
+	out.run = RunSolver(sut, script)
 	return out
 }
 
@@ -422,7 +497,7 @@ func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *a
 				m.FaultMsg = out.run.FaultMsg
 				m.FaultStack = out.run.FaultStack
 			}
-			aw.write(m, out.ancestors, out.fused)
+			aw.write(m, out.ancestors, out.testScript())
 		}
 		return
 	}
@@ -454,6 +529,7 @@ func manifestFor(cfg Campaign, out taskOutcome, bugType string, defect solver.De
 		SeedPool:     cfg.SeedPool,
 		ConcatOnly:   cfg.ConcatOnly,
 		Fuel:         cfg.Fuel,
+		CampaignMode: string(cfg.Mode),
 	}
 	for _, d := range cfg.InjectDefects {
 		m.InjectDefects = append(m.InjectDefects, string(d))
@@ -461,6 +537,11 @@ func manifestFor(cfg Campaign, out taskOutcome, bugType string, defect solver.De
 	if out.fused != nil {
 		m.Oracle = out.fused.Oracle.String()
 		m.Mode = out.fused.Mode.String()
+	}
+	if out.mutant != nil {
+		m.Oracle = out.mutant.Oracle.String()
+		m.Mode = "mutation"
+		m.MutationRules = out.mutant.Rules
 	}
 	if out.run.Crashed {
 		m.Observed = "crash"
@@ -474,7 +555,8 @@ func manifestFor(cfg Campaign, out taskOutcome, bugType string, defect solver.De
 // triage, and duplicate triage by defect site.
 func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, out taskOutcome) {
 	logic := cfg.Logics[out.id/cfg.Iterations]
-	fused, ancestors, run := out.fused, out.ancestors, out.run
+	ancestors, run := out.ancestors, out.run
+	script, oracle := out.testScript(), out.oracle()
 	record := func(kind bugdb.BugType) {
 		primary, ok := primaryDefect(run.DefectsFired, kind)
 		if !ok {
@@ -486,18 +568,23 @@ func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artif
 			return
 		}
 		found[primary] = true
-		res.Bugs = append(res.Bugs, Bug{
+		b := Bug{
 			Defect:    primary,
 			Kind:      kind,
 			Logic:     logic,
-			Oracle:    fused.Oracle,
+			Oracle:    oracle,
 			Observed:  run.Result,
-			Script:    fused.Script,
+			Script:    script,
 			Ancestors: ancestors,
-			Mode:      fused.Mode,
-		})
+		}
+		if out.mutant != nil {
+			b.Rules = out.mutant.Rules
+		} else {
+			b.Mode = out.fused.Mode
+		}
+		res.Bugs = append(res.Bugs, b)
 		if aw != nil {
-			aw.write(manifestFor(cfg, out, string(kind), primary), ancestors, fused)
+			aw.write(manifestFor(cfg, out, string(kind), primary), ancestors, script)
 		}
 	}
 
@@ -523,8 +610,16 @@ func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artif
 		if _, ok := primaryDefect(run.DefectsFired, bugdb.Performance); ok {
 			record(bugdb.Performance)
 		}
-	case (run.Result == solver.ResSat) != (fused.Oracle == core.StatusSat):
+	case (run.Result == solver.ResSat) != (oracle == core.StatusSat):
 		record(bugdb.Soundness)
+	case run.Result == solver.ResSat && !cfg.DisableModelCheck:
+		// The verdict agrees with the oracle, but the reported witness
+		// must still satisfy the formula: this is the only oracle that
+		// can see post-certification model corruption.
+		if ok, reason := ValidateModel(script, run.Model); !ok {
+			out.run.Reason = reason // surfaced in the reproducer manifest
+			record(bugdb.InvalidModel)
+		}
 	}
 }
 
@@ -542,14 +637,18 @@ func primaryDefect(fired []solver.Defect, kind bugdb.BugType) (solver.Defect, bo
 		if e.Type == kind {
 			return d, true
 		}
-		if !haveFallback {
+		// Model-corruption sites run after the verdict is fixed, so they
+		// can never root an observation of any other kind.
+		if !haveFallback && e.Type != bugdb.InvalidModel {
 			fallback, haveFallback = d, true
 		}
 	}
 	// A soundness observation can be rooted in any wrong-transformation
-	// defect even if catalogued under another logic; crashes must match
-	// a crash site.
-	if kind == bugdb.Soundness && haveFallback {
+	// defect even if catalogued under another logic, and so can an
+	// invalid model: the solver certifies its model against the
+	// *rewritten* asserts, so a wrong rewrite yields a witness of the
+	// wrong formula. Crashes must match a crash site.
+	if (kind == bugdb.Soundness || kind == bugdb.InvalidModel) && haveFallback {
 		return fallback, true
 	}
 	return "", false

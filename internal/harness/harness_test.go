@@ -196,49 +196,68 @@ func TestBugAncestorsRecorded(t *testing.T) {
 // TestThreadCountInvariance checks the work-stealing engine's central
 // guarantee: a campaign's findings are bit-identical for any Threads
 // value — parallelism is a pure speedup, not a different experiment.
+// The guarantee covers every campaign mode: fusion, mutation, and the
+// interleaved combination.
 func TestThreadCountInvariance(t *testing.T) {
-	base := Campaign{
-		SUT:        bugdb.Z3Sim,
-		Logics:     []gen.Logic{gen.QFLIA, gen.QFS},
-		Iterations: shortIters(60),
-		SeedPool:   8,
-		Seed:       42,
-	}
-	threadCounts := []int{1, 2, 4}
-	results := make([]*Result, len(threadCounts))
-	for i, threads := range threadCounts {
-		cfg := base
-		cfg.Threads = threads
-		res, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		results[i] = res
-	}
-	ref := results[0]
-	if ref.Tests == 0 {
-		t.Fatal("campaign ran no tests")
-	}
-	for i, threads := range threadCounts[1:] {
-		r := results[i+1]
-		if summary(r) != summary(ref) {
-			t.Errorf("Threads=%d counts differ from Threads=1: %+v vs %+v",
-				threads, summary(r), summary(ref))
-		}
-		if len(r.Bugs) != len(ref.Bugs) {
-			t.Fatalf("Threads=%d found %d bugs, Threads=1 found %d",
-				threads, len(r.Bugs), len(ref.Bugs))
-		}
-		for j := range r.Bugs {
-			a, b := r.Bugs[j], ref.Bugs[j]
-			if a.Defect != b.Defect || a.Kind != b.Kind || a.Logic != b.Logic ||
-				a.Oracle != b.Oracle || a.Observed != b.Observed || a.Mode != b.Mode {
-				t.Errorf("Threads=%d bug %d differs: %+v vs %+v", threads, j, a.Defect, b.Defect)
+	for _, mode := range []CampaignMode{ModeFusion, ModeMutate, ModeBoth} {
+		t.Run(string(mode), func(t *testing.T) {
+			base := Campaign{
+				SUT:        bugdb.Z3Sim,
+				Logics:     []gen.Logic{gen.QFLIA, gen.QFS},
+				Iterations: shortIters(60),
+				SeedPool:   8,
+				Seed:       42,
+				Mode:       mode,
 			}
-			if a.Script.Text() != b.Script.Text() {
-				t.Errorf("Threads=%d bug %s triggering script differs", threads, a.Defect)
+			threadCounts := []int{1, 2, 4}
+			results := make([]*Result, len(threadCounts))
+			for i, threads := range threadCounts {
+				cfg := base
+				cfg.Threads = threads
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[i] = res
 			}
-		}
+			ref := results[0]
+			if ref.Tests == 0 {
+				t.Fatal("campaign ran no tests")
+			}
+			for i, threads := range threadCounts[1:] {
+				r := results[i+1]
+				if summary(r) != summary(ref) {
+					t.Errorf("Threads=%d counts differ from Threads=1: %+v vs %+v",
+						threads, summary(r), summary(ref))
+				}
+				if len(r.Bugs) != len(ref.Bugs) {
+					t.Fatalf("Threads=%d found %d bugs, Threads=1 found %d",
+						threads, len(r.Bugs), len(ref.Bugs))
+				}
+				for j := range r.Bugs {
+					a, b := r.Bugs[j], ref.Bugs[j]
+					if a.Defect != b.Defect || a.Kind != b.Kind || a.Logic != b.Logic ||
+						a.Oracle != b.Oracle || a.Observed != b.Observed || a.Mode != b.Mode {
+						t.Errorf("Threads=%d bug %d differs: %+v vs %+v", threads, j, a.Defect, b.Defect)
+					}
+					if a.Script.Text() != b.Script.Text() {
+						t.Errorf("Threads=%d bug %s triggering script differs", threads, a.Defect)
+					}
+					if len(a.Rules) != len(b.Rules) {
+						t.Errorf("Threads=%d bug %s rule lists differ: %v vs %v",
+							threads, a.Defect, a.Rules, b.Rules)
+						continue
+					}
+					for k := range a.Rules {
+						if a.Rules[k] != b.Rules[k] {
+							t.Errorf("Threads=%d bug %s rule lists differ: %v vs %v",
+								threads, a.Defect, a.Rules, b.Rules)
+							break
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

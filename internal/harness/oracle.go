@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/smtlib"
+)
+
+// ValidateModel is the model-validation oracle: a sat verdict is only
+// as trustworthy as its witness, so the reported model is evaluated
+// against every assert of the script the solver was actually given.
+// This oracle is strictly stronger than verdict comparison — the
+// solver's own certification runs against its *rewritten* asserts, and
+// model-finalization bugs after certification are invisible to every
+// verdict-based check.
+//
+// Quantified asserts are skipped: evaluating them needs search, not
+// evaluation, and the generators only quantify over closed shapes whose
+// ground part is covered by the remaining asserts. The empty model is
+// legitimate for scripts without declarations; a nil model under a sat
+// verdict is itself a finding.
+func ValidateModel(sc *smtlib.Script, m eval.Model) (bool, string) {
+	if m == nil {
+		return false, "sat verdict with no model"
+	}
+	for i, a := range sc.Asserts() {
+		if ast.HasQuantifier(a) {
+			continue
+		}
+		v, err := eval.Bool(a, m)
+		if err != nil {
+			return false, fmt.Sprintf("assert[%d]: %v", i, err)
+		}
+		if !v {
+			return false, fmt.Sprintf("assert[%d]: evaluates to false under the model", i)
+		}
+	}
+	return true, ""
+}

@@ -116,6 +116,9 @@ func (s *Solver) rwAndOr(app *ast.App) ast.Term {
 		}
 		flat = append(flat, a)
 	}
+	if isAnd && s.cfg.Has(DefLeGuardCollapse) {
+		flat = s.collapseLeGuard(flat)
+	}
 	switch len(flat) {
 	case 0:
 		return ast.Bool(isAnd)
@@ -135,6 +138,38 @@ func (s *Solver) rwAndOr(app *ast.App) ast.Term {
 		}
 	}
 	return ast.MustApp(app.Op, flat...)
+}
+
+// collapseLeGuard implements the rw-le-guard-collapse defect: inside a
+// conjunction, a (distinct a b) conjunct whose pair also appears under
+// a non-strict bound — (<= a b) or (>= a b), either orientation — is
+// "simplified" away, as if the bound subsumed it. Formulas whose
+// unsatisfiability hinges on the strictness (x² < 0 expressed as
+// x² ≤ 0 ∧ x² ≠ 0) flip to sat. Terms are interned, so the pair match
+// is pointer comparison.
+func (s *Solver) collapseLeGuard(flat []ast.Term) []ast.Term {
+	samePair := func(b, d *ast.App) bool {
+		return (b.Args[0] == d.Args[0] && b.Args[1] == d.Args[1]) ||
+			(b.Args[0] == d.Args[1] && b.Args[1] == d.Args[0])
+	}
+	guarded := func(d *ast.App) bool {
+		for _, t := range flat {
+			b, ok := t.(*ast.App)
+			if ok && (b.Op == ast.OpLe || b.Op == ast.OpGe) && len(b.Args) == 2 && samePair(b, d) {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]ast.Term, 0, len(flat))
+	for _, t := range flat {
+		d, ok := t.(*ast.App)
+		if ok && d.Op == ast.OpDistinct && len(d.Args) == 2 && guarded(d) && s.defect(DefLeGuardCollapse) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
 }
 
 func (s *Solver) rwEq(app *ast.App) ast.Term {

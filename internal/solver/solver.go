@@ -95,6 +95,24 @@ const (
 	// formula — the wrong-unsat answers the paper saw on φsat.
 	DefReplaceVarNoop Defect = "rw-replace-var-noop"
 	DefDivMulThrough  Defect = "rw-div-mul-through"
+	// DefLeGuardCollapse drops a (distinct a b) conjunct sitting next to
+	// a non-strict bound over the same pair — the shape the mutation
+	// engine's <→≤-with-guard rewrite builds and plain fusion never
+	// does, so only mutation campaigns reach this site.
+	DefLeGuardCollapse Defect = "rw-le-guard-collapse"
+)
+
+// Model-corruption defects (invalid models behind a correct sat
+// verdict). These sites run in Solve after the model has been
+// certified against the rewritten formula, simulating model
+// finalization/printing bugs: the verdict stays right, so neither the
+// solver's own certification nor a verdict-only equisatisfiability
+// oracle can see them — only harness-side model validation catches
+// them.
+const (
+	DefModelStaleSimplex   Defect = "md-stale-simplex-assignment"
+	DefModelStrLenTruncate Defect = "md-strlen-witness-truncate"
+	DefModelRealFloor      Defect = "md-real-model-floor"
 )
 
 // Theory defects (wrong inferences; corrupt unsat answers).
@@ -140,6 +158,8 @@ var AllDefects = []Defect{
 	DefGeZeroStrengthen, DefAbsNegFold, DefConcatAssocDrop,
 	DefIndexOfEmptyNeedle, DefIntDivMulCancel, DefSubstrConcatPrefix,
 	DefReplaceConcatDrop, DefReplaceVarNoop, DefDivMulThrough,
+	DefLeGuardCollapse,
+	DefModelStaleSimplex, DefModelStrLenTruncate, DefModelRealFloor,
 	DefLenAbsPrefixFlip, DefRegexMinLenStrict, DefBoundConflictEq,
 	DefCrashDeepNonlinear, DefCrashSelfDivision, DefCrashRangeBounds,
 	DefCrashBigSubstr,
@@ -268,6 +288,9 @@ func (s *Solver) Solve(asserts []ast.Term) Outcome {
 	if out.Result == ResUnknown && s.meter.Exhausted() {
 		out.Result = ResTimeout
 		out.Reason = "fuel exhausted"
+	}
+	if out.Result == ResSat {
+		s.corruptModel(out.Model)
 	}
 	switch out.Result {
 	case ResSat:
