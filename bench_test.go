@@ -121,6 +121,11 @@ func BenchmarkRQ4Retrigger(b *testing.B) {
 // solve), so tests/s = 1e9 / (ns/op).
 func BenchmarkThroughputSingleThreaded(b *testing.B) { benchmarks.ThroughputSingleThreaded(b) }
 
+// BenchmarkThroughputInstrumented is the same workload with telemetry
+// counters armed; the delta to the plain benchmark is the
+// instrumentation overhead cmd/bench gates.
+func BenchmarkThroughputInstrumented(b *testing.B) { benchmarks.ThroughputInstrumented(b) }
+
 // BenchmarkFusionOnly isolates the fusion engine's cost (Algorithm 2
 // without the solver).
 func BenchmarkFusionOnly(b *testing.B) { benchmarks.FusionOnly(b) }

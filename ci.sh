@@ -41,6 +41,24 @@ echo "== go test -race (second oracles) =="
 # must produce zero invalid-model reports over the generator corpus.
 go test -race -timeout 10m -run 'TestModelValidationOracleFindsInjected|TestReferenceModelValidationClean|TestMutationCampaignFindsGuardCollapse' ./internal/harness/
 
+echo "== go test -race (telemetry) =="
+# The telemetry layer full-length under the race detector: per-worker
+# trackers merged by the in-order classification stage, funnel totals
+# against Result counts, and thread-count-invariant JSONL traces.
+go test -race -timeout 10m -run 'TestFunnelMatchesResultCounts|TestTraceRoundTrip|TestThreadsClampNegative' ./internal/harness/
+go test -race -timeout 5m ./internal/telemetry/
+
+echo "== telemetry smoke =="
+# End-to-end: a tiny campaign through the CLI must produce a Prometheus
+# snapshot carrying the funnel sentinel metric.
+tmpmetrics=$(mktemp)
+go run ./cmd/yinyang -logics QF_LIA -iters 10 -pool 4 -seed 3 -threads 2 -metrics "$tmpmetrics" >/dev/null
+grep -q '^yy_funnel_solved_total [1-9]' "$tmpmetrics" || {
+    echo "telemetry smoke: yy_funnel_solved_total missing or zero in $tmpmetrics" >&2
+    exit 1
+}
+rm -f "$tmpmetrics"
+
 echo "== fuzz smoke =="
 # Bounded go-native fuzzing: each target gets a short budget on top of
 # its committed seed corpus. Failures minimize into testdata/fuzz/ and

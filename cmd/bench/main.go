@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -47,6 +48,10 @@ type report struct {
 	NumCPU     int                   `json:"num_cpu"`
 	Mode       string                `json:"mode"`
 	Benchmarks map[string]benchStats `json:"benchmarks"`
+	// InstrumentationOverhead is the fractional throughput cost of armed
+	// telemetry counters: 1 − instrumented/plain ops/s, measured within
+	// this run (negative values are benchmark noise).
+	InstrumentationOverhead *float64 `json:"instrumentation_overhead,omitempty"`
 }
 
 var benchFilePat = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -57,6 +62,7 @@ func main() {
 	out := flag.String("o", "", "explicit output path (default: next BENCH_<n>.json in -dir)")
 	write := flag.Bool("write", true, "write the result file (false: gate only)")
 	tolerance := flag.Float64("tolerance", 0.25, "max allowed fractional ops/sec regression vs baseline")
+	overheadTol := flag.Float64("overhead-tolerance", 0.03, "max allowed fractional telemetry instrumentation overhead (plain vs instrumented throughput)")
 	benchtime := flag.String("benchtime", "", "benchtime per benchmark (default 1s, or 300ms with -short)")
 	flag.Parse()
 
@@ -109,6 +115,17 @@ func main() {
 			e.Name, st.NsPerOp, st.AllocsPerOp, st.OpsPerSec)
 	}
 
+	overhead := measureOverhead(*short)
+	rep.InstrumentationOverhead = &overhead
+	overheadFail := ""
+	fmt.Printf("instrumentation overhead: %.2f%% (tolerance %.0f%%)\n",
+		overhead*100, *overheadTol*100)
+	if overhead > *overheadTol {
+		overheadFail = fmt.Sprintf(
+			"telemetry instrumentation overhead %.2f%% exceeds %.0f%%",
+			overhead*100, *overheadTol*100)
+	}
+
 	baseline, baseName, err := latestBaseline(*dir)
 	if err != nil {
 		fatal(err)
@@ -129,18 +146,59 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 
-	if baseline == nil {
-		fmt.Println("no baseline BENCH_<n>.json: gate skipped")
-		return
+	var failures []string
+	if overheadFail != "" {
+		failures = append(failures, overheadFail)
 	}
-	fmt.Printf("gating against %s (tolerance %.0f%%)\n", baseName, *tolerance*100)
-	if failures := gate(rep, *baseline, *tolerance); len(failures) > 0 {
+	if baseline == nil {
+		fmt.Println("no baseline BENCH_<n>.json: baseline gate skipped")
+	} else {
+		fmt.Printf("gating against %s (tolerance %.0f%%)\n", baseName, *tolerance*100)
+		failures = append(failures, gate(rep, *baseline, *tolerance)...)
+	}
+	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 		}
 		os.Exit(1)
 	}
 	fmt.Println("bench gate passed")
+}
+
+// measureOverhead estimates the throughput cost of armed telemetry
+// counters as 1 − plain/instrumented time per op. Both benchmarks run
+// at the same fixed op count so they execute the identical workload
+// sequence (the main loop's adaptive iteration counts would hand each
+// a different slice of the deterministic stream and drown the
+// few-percent delta in mix differences). The pair is interleaved over
+// several rounds and the minimum overhead is kept: ambient machine
+// noise only ever inflates a round, while a real regression shows up
+// in every one.
+func measureOverhead(short bool) float64 {
+	rounds, ops := 5, "600x"
+	if short {
+		rounds, ops = 3, "300x"
+	}
+	if err := flag.Lookup("test.benchtime").Value.Set(ops); err != nil {
+		fatal(err)
+	}
+	run := func(fn func(*testing.B)) float64 {
+		runtime.GC()
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			fatal(fmt.Errorf("overhead benchmark did not run"))
+		}
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+	best := math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		plain := run(benchmarks.ThroughputSingleThreaded)
+		instr := run(benchmarks.ThroughputInstrumented)
+		if overhead := 1 - plain/instr; overhead < best {
+			best = overhead
+		}
+	}
+	return best
 }
 
 // latestBaseline loads the highest-numbered BENCH_<n>.json in dir.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] [-validate] file.smt2
+//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] [-validate] [-stats] file.smt2
 //
 // A solve that exhausts its deterministic step budget prints "timeout",
 // the analogue of a real solver hitting its time limit.
@@ -21,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	release := flag.String("release", "trunk", "SUT release version")
 	showModel := flag.Bool("model", false, "print the model on sat")
 	validate := flag.Bool("validate", false, "on sat, evaluate the model against the input asserts; exit 3 if it fails")
+	stats := flag.Bool("stats", false, "print the solve's step-counter summary (decisions, pivots, DFS nodes, …) to stderr")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget (0 = default, negative = unlimited)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,15 +54,20 @@ func main() {
 	} else if *fuel < 0 {
 		lim.Fuel = 0
 	}
+	var tr *telemetry.Tracker
+	if *stats {
+		tr = telemetry.NewTracker()
+	}
 	var s *solver.Solver
 	if *sutName == "" {
-		s = solver.New(solver.Config{Limits: lim})
+		s = solver.New(solver.Config{Limits: lim, Telemetry: tr})
 	} else {
-		s, err = bugdb.NewSolverWithLimits(bugdb.SUT(*sutName), *release, nil, lim)
+		defects, err := bugdb.DefectsIn(bugdb.SUT(*sutName), *release)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+		s = solver.New(solver.Config{Defects: defects, Limits: lim, Telemetry: tr})
 	}
 
 	defer func() {
@@ -74,6 +81,12 @@ func main() {
 	fmt.Println(out.Result)
 	if (out.Result == solver.ResUnknown || out.Result == solver.ResTimeout) && out.Reason != "" {
 		fmt.Fprintln(os.Stderr, "; reason:", out.Reason)
+	}
+	if *stats {
+		if err := telemetry.WriteSummary(os.Stderr, tr.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 	if *showModel && out.Result == solver.ResSat {
 		var names []string

@@ -9,12 +9,14 @@
 //	        [-mode fusion|mutate|both] [-nomodelcheck]
 //	        [-concat] [-outdir bugs/] [-artifacts artifacts/]
 //	        [-fuel 10000000] [-walltimeout 0]
+//	        [-metrics metrics.prom] [-trace trace.jsonl]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/reduce"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +46,8 @@ func main() {
 	fuel := flag.Int64("fuel", 0, "deterministic step budget per solve (0 = solver default, negative = unlimited)")
 	wallTimeout := flag.Duration("walltimeout", 0, "wall-clock watchdog per solve (0 = off); cut-off runs are quarantined, and results stop being thread-count invariant")
 	artifacts := flag.String("artifacts", "", "persist replayable reproducer bundles under this directory")
+	metricsPath := flag.String("metrics", "", "write a Prometheus-text metrics snapshot here and print a summary table")
+	tracePath := flag.String("trace", "", "write a JSONL per-task event trace here")
 	outdir := flag.String("outdir", "", "write reduced bug-triggering formulas here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memprofile := flag.String("memprofile", "", "write an allocation profile here at exit")
@@ -68,6 +73,30 @@ func main() {
 			logics = append(logics, gen.Logic(strings.TrimSpace(l)))
 		}
 	}
+	if *threads <= 0 {
+		// Mirror the harness clamp so usage output and derived tooling
+		// see the effective worker count.
+		*threads = 1
+	}
+
+	var tracker *telemetry.Tracker
+	if *metricsPath != "" {
+		tracker = telemetry.NewTracker()
+	}
+	// trace stays a nil interface when -trace is unset: assigning a nil
+	// *os.File into the io.Writer field would read as "tracing on" to
+	// the harness.
+	var trace io.Writer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		trace = f
+	}
 
 	res, err := harness.Run(harness.Campaign{
 		SUT:               bugdb.SUT(*sutName),
@@ -83,10 +112,23 @@ func main() {
 		Fuel:              *fuel,
 		WallTimeout:       *wallTimeout,
 		ArtifactDir:       *artifacts,
+		Telemetry:         tracker,
+		Trace:             trace,
 	})
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", cerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if tracker != nil {
+		if werr := writeMetrics(*metricsPath, tracker.Snapshot()); werr != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", werr)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("tests: %d   unknowns: %d   timeouts: %d   bugs: %d   duplicates: %d   invalid-inputs: %d   quarantined: %d\n",
@@ -124,6 +166,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeMetrics persists the Prometheus-text snapshot and prints the
+// human-readable summary table.
+func writeMetrics(path string, snap telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePrometheus(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("telemetry:")
+	return telemetry.WriteSummary(os.Stdout, snap)
 }
 
 // writeReduced reduces the bug-triggering script (keeping the same

@@ -16,6 +16,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
+	"repro/internal/telemetry"
 )
 
 // ThroughputSingleThreaded measures end-to-end fused tests per second
@@ -46,6 +47,46 @@ func ThroughputSingleThreaded(b *testing.B) {
 			continue
 		}
 		harness.RunSolver(sut, fused.Script)
+	}
+}
+
+// ThroughputInstrumented is ThroughputSingleThreaded with a telemetry
+// tracker attached to the solver, so every fuel charge point also
+// increments a counter. cmd/bench pairs it with the plain benchmark to
+// derive the instrumentation overhead and gates the difference.
+func ThroughputInstrumented(b *testing.B) {
+	b.ReportAllocs()
+	g, err := gen.New(gen.QFLIA, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sat, unsat []*core.Seed
+	for i := 0; i < 10; i++ {
+		sat = append(sat, g.Sat())
+		unsat = append(unsat, g.Unsat())
+	}
+	defects, err := bugdb.DefectsIn(bugdb.Z3Sim, "trunk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := telemetry.NewTracker()
+	sut := solver.New(solver.Config{Defects: defects, Telemetry: tr})
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := sat
+		if i%2 == 1 {
+			pool = unsat
+		}
+		fused, err := core.Fuse(pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], rng, core.Options{})
+		if err != nil {
+			continue
+		}
+		harness.RunSolver(sut, fused.Script)
+	}
+	b.StopTimer()
+	if tr.Snapshot().Counter("yy_solves_total") == 0 {
+		b.Fatal("tracker recorded no solves")
 	}
 }
 
@@ -140,6 +181,7 @@ type Entry struct {
 // All lists the registry in fixed report order.
 var All = []Entry{
 	{Name: "ThroughputSingleThreaded", Fast: true, Fn: ThroughputSingleThreaded},
+	{Name: "ThroughputInstrumented", Fast: true, Fn: ThroughputInstrumented},
 	{Name: "FusionOnly", Fast: true, Fn: FusionOnly},
 	{Name: "SolverReference", Fast: true, Fn: SolverReference},
 	{Name: "ParsePrint", Fast: true, Fn: ParsePrint},

@@ -16,6 +16,10 @@ type Meter struct {
 	remaining int64
 	limited   bool
 	exhausted bool
+	// spent accumulates every charge, on limited and unlimited meters
+	// alike, so telemetry can report per-solve effort without a second
+	// set of charge points.
+	spent int64
 }
 
 // NewMeter returns a meter with the given step budget. A non-positive
@@ -31,14 +35,20 @@ func NewMeter(budget int64) *Meter {
 // Once the meter is exhausted it stays exhausted; callers should
 // unwind promptly but need not check after every single step.
 func (m *Meter) Spend(n int64) bool {
-	if m == nil || !m.limited {
+	if m == nil {
+		return true
+	}
+	m.spent += n
+	if !m.limited {
 		return true
 	}
 	if m.exhausted {
+		m.spent -= n // an exhausted meter performs no work
 		return false
 	}
 	m.remaining -= n
 	if m.remaining < 0 {
+		m.spent += m.remaining // only the residue was actually consumed
 		m.remaining = 0
 		m.exhausted = true
 		return false
@@ -59,8 +69,21 @@ func (m *Meter) Drain() {
 	if m == nil || !m.limited {
 		return
 	}
+	// A drain models a search consuming its whole remaining budget, so
+	// the residue counts as spent: telemetry then reports the same
+	// per-solve effort a genuine blowup would.
+	m.spent += m.remaining
 	m.remaining = 0
 	m.exhausted = true
+}
+
+// Spent returns the steps consumed so far. Unlimited (but non-nil)
+// meters count too; a nil meter reports 0.
+func (m *Meter) Spent() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.spent
 }
 
 // Remaining returns the steps left, or -1 when unlimited.

@@ -68,6 +68,41 @@ func TestExactSpendIsNotExhaustion(t *testing.T) {
 	}
 }
 
+func TestSpentAccounting(t *testing.T) {
+	if (*Meter)(nil).Spent() != 0 {
+		t.Error("nil meter Spent should be 0")
+	}
+	// Unlimited meters still count consumption.
+	u := NewMeter(0)
+	u.Spend(3)
+	u.Spend(4)
+	if u.Spent() != 7 {
+		t.Errorf("unlimited Spent = %d, want 7", u.Spent())
+	}
+	// A limited meter never reports more spent than its budget: the
+	// overdraw that flips it to exhausted only consumed the residue.
+	m := NewMeter(10)
+	m.Spend(7)
+	if m.Spent() != 7 {
+		t.Errorf("Spent = %d, want 7", m.Spent())
+	}
+	m.Spend(5) // fails; only 3 steps of work existed
+	if m.Spent() != 10 {
+		t.Errorf("Spent after overdraw = %d, want 10", m.Spent())
+	}
+	m.Spend(1) // exhausted: no work happens
+	if m.Spent() != 10 {
+		t.Errorf("Spent after exhausted spend = %d, want 10", m.Spent())
+	}
+	// Drain charges the whole residue.
+	d := NewMeter(100)
+	d.Spend(25)
+	d.Drain()
+	if d.Spent() != 100 {
+		t.Errorf("Spent after drain = %d, want 100", d.Spent())
+	}
+}
+
 func TestDrain(t *testing.T) {
 	m := NewMeter(1000)
 	m.Drain()

@@ -194,15 +194,15 @@ func Replay(bundleDir string) (ReplayReport, error) {
 		cfg.InjectDefects = append(cfg.InjectDefects, solver.Defect(d))
 	}
 	cfg = cfg.withDefaults()
-	sut, err := makeSUT(cfg)
+	sut, err := makeSUT(cfg, nil)
 	if err != nil {
 		return rep, err
 	}
-	pools, err := buildCorpus(cfg, []*solver.Solver{sut})
+	pools, err := buildCorpus(cfg, []*solver.Solver{sut}, nil, nil)
 	if err != nil {
 		return rep, err
 	}
-	out := runTask(cfg, pools, sut, m.Iteration)
+	out := runTask(cfg, pools, sut, nil, m.Iteration)
 	if !out.tested {
 		return rep, fmt.Errorf("artifacts: task (seed=%d logic=%s iter=%d) produced no fused test on replay", m.CampaignSeed, m.Logic, m.Iteration)
 	}

@@ -8,6 +8,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime/debug"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/mutate"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
+	"repro/internal/telemetry"
 	"repro/internal/watchdog"
 )
 
@@ -140,6 +142,14 @@ type Campaign struct {
 	// InjectDefects adds defects beyond the release's own catalogue
 	// entries (fault-injection testing of the harness itself).
 	InjectDefects []solver.Defect
+	// Telemetry, when non-nil, receives the campaign's aggregated
+	// metrics: engine step counters merged per task plus the funnel
+	// counters. All writes happen in the in-order classification stage,
+	// so the final snapshot is bit-identical for any Threads value.
+	Telemetry *telemetry.Tracker
+	// Trace, when non-nil, receives one JSONL TraceRecord per task,
+	// emitted in task order (again thread-count-invariant).
+	Trace io.Writer
 }
 
 func (c Campaign) withDefaults() Campaign {
@@ -155,7 +165,9 @@ func (c Campaign) withDefaults() Campaign {
 	if c.SeedPool == 0 {
 		c.SeedPool = 20
 	}
-	if c.Threads == 0 {
+	// Clamp, don't just default: a negative thread count would size the
+	// worker arrays with make([]T, c.Threads) and panic.
+	if c.Threads <= 0 {
 		c.Threads = 1
 	}
 	if c.Mode == "" {
@@ -266,6 +278,9 @@ type taskOutcome struct {
 	// wallTimeout marks a run cut off by the wall-clock watchdog; the
 	// worker's solver instance is tainted and must be replaced.
 	wallTimeout bool
+	// delta holds the task's engine-counter increments (empty on a
+	// wall-timeout: the abandoned goroutine still owns that tracker).
+	delta telemetry.Snapshot
 }
 
 // testScript is the script that was handed to the solver under test.
@@ -286,8 +301,8 @@ func (o *taskOutcome) oracle() core.Status {
 
 // makeSUT builds one solver-under-test instance for a campaign worker:
 // the release's catalogued defects plus any injected ones, under the
-// campaign's fuel limit.
-func makeSUT(cfg Campaign) (*solver.Solver, error) {
+// campaign's fuel limit, recording step counters into tr (nil = none).
+func makeSUT(cfg Campaign, tr *telemetry.Tracker) (*solver.Solver, error) {
 	defects, err := bugdb.DefectsIn(cfg.SUT, cfg.Release)
 	if err != nil {
 		return nil, err
@@ -301,7 +316,7 @@ func makeSUT(cfg Campaign) (*solver.Solver, error) {
 	} else if cfg.Fuel < 0 {
 		lim.Fuel = 0 // unlimited
 	}
-	return solver.New(solver.Config{Defects: defects, Limits: lim}), nil
+	return solver.New(solver.Config{Defects: defects, Limits: lim, Telemetry: tr}), nil
 }
 
 // Run executes the campaign as a shared-corpus, work-stealing pipeline:
@@ -330,18 +345,29 @@ func Run(cfg Campaign) (*Result, error) {
 		return nil, fmt.Errorf("harness: ConcatOnly requires fusion mode, got %q", cfg.Mode)
 	}
 
+	rec := &recorder{tr: cfg.Telemetry}
+	if cfg.Trace != nil {
+		rec.jw = telemetry.NewJSONLWriter(cfg.Trace)
+	}
+
 	// One solver instance per worker: instances are deterministic per
-	// Solve call but not safe for concurrent use.
+	// Solve call but not safe for concurrent use. Each worker likewise
+	// owns its telemetry tracker; per-task deltas are folded into the
+	// campaign tracker by the in-order classification stage.
 	suts := make([]*solver.Solver, cfg.Threads)
+	trackers := make([]*telemetry.Tracker, cfg.Threads)
 	for w := range suts {
-		sut, err := makeSUT(cfg)
+		if rec.active() {
+			trackers[w] = telemetry.NewTracker()
+		}
+		sut, err := makeSUT(cfg, trackers[w])
 		if err != nil {
 			return nil, err
 		}
 		suts[w] = sut
 	}
 
-	pools, err := buildCorpus(cfg, suts)
+	pools, err := buildCorpus(cfg, suts, trackers, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -353,22 +379,27 @@ func Run(cfg Campaign) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
-		go func(sut *solver.Solver) {
+		go func(sut *solver.Solver, tr *telemetry.Tracker) {
 			defer wg.Done()
 			for id := range taskCh {
-				out := runTask(cfg, pools, sut, id)
+				out := runTask(cfg, pools, sut, tr, id)
 				if out.wallTimeout {
 					// The watchdog abandoned a solve mid-flight: that
 					// solver instance may hold inconsistent state, so
-					// replace it. makeSUT cannot fail here — the same
-					// arguments succeeded when the pool was built.
-					if fresh, err := makeSUT(cfg); err == nil {
+					// replace it — together with its tracker, which the
+					// abandoned goroutine may still be writing. makeSUT
+					// cannot fail here — the same arguments succeeded
+					// when the pool was built.
+					if tr != nil {
+						tr = telemetry.NewTracker()
+					}
+					if fresh, err := makeSUT(cfg, tr); err == nil {
 						sut = fresh
 					}
 				}
 				outCh <- out
 			}
-		}(suts[w])
+		}(suts[w], trackers[w])
 	}
 	go func() {
 		for id := 0; id < total; id++ {
@@ -398,7 +429,9 @@ func Run(cfg Campaign) (*Result, error) {
 			}
 			delete(pending, next)
 			next++
+			prev := countsOf(res)
 			applyOutcome(res, found, cfg, aw, cur)
+			rec.task(cfg, cur, prev, res)
 		}
 	}
 	sortBugs(res.Bugs)
@@ -408,6 +441,9 @@ func Run(cfg Campaign) (*Result, error) {
 		}
 		res.Artifacts = aw.paths
 	}
+	if err := rec.jw.Close(); err != nil {
+		return nil, fmt.Errorf("harness: writing trace: %w", err)
+	}
 	return res, nil
 }
 
@@ -416,7 +452,18 @@ func Run(cfg Campaign) (*Result, error) {
 // random in the task flows from its own deterministic RNG, and the mode
 // of an iteration is a pure function of (Mode, iter), so campaigns stay
 // bit-identical for any thread count.
-func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOutcome {
+func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, tr *telemetry.Tracker, id int) taskOutcome {
+	before := tr.Snapshot()
+	out := runTaskInner(cfg, pools, sut, id)
+	if !out.wallTimeout {
+		// On a wall-timeout the abandoned goroutine may still be writing
+		// tr, so the tracker is surrendered with it instead of read.
+		out.delta = tr.Snapshot().Diff(before)
+	}
+	return out
+}
+
+func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOutcome {
 	logicIdx, iter := id/cfg.Iterations, id%cfg.Iterations
 	logic := cfg.Logics[logicIdx]
 	rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, logic, iter)))
@@ -675,7 +722,7 @@ type seedPool struct {
 // across the worker pool. Each slot owns a generator stream keyed by
 // (campaign seed, logic, slot, status), so the resulting corpus does
 // not depend on which worker vets which slot.
-func buildCorpus(cfg Campaign, suts []*solver.Solver) ([]*seedPool, error) {
+func buildCorpus(cfg Campaign, suts []*solver.Solver, trackers []*telemetry.Tracker, rec *recorder) ([]*seedPool, error) {
 	pools := make([]*seedPool, len(cfg.Logics))
 	for i := range pools {
 		pools[i] = &seedPool{
@@ -689,12 +736,22 @@ func buildCorpus(cfg Campaign, suts []*solver.Solver) ([]*seedPool, error) {
 	total := len(cfg.Logics) * perLogic
 	jobs := make(chan int, len(suts))
 	errs := make([]error, len(suts))
+	// Per-job vetting telemetry, merged into the campaign tracker in
+	// job order after the barrier. Each entry is written by exactly one
+	// job (like the pool slots), so no locking is needed and the merge
+	// order is independent of scheduling.
+	tries := make([]int, total)
+	deltas := make([]telemetry.Snapshot, total)
 	var wg sync.WaitGroup
 	for w := range suts {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			sut := suts[w]
+			var tr *telemetry.Tracker
+			if trackers != nil {
+				tr = trackers[w]
+			}
 			for j := range jobs {
 				logicIdx := j / perLogic
 				rest := j % perLogic
@@ -703,7 +760,10 @@ func buildCorpus(cfg Campaign, suts []*solver.Solver) ([]*seedPool, error) {
 				if rest&1 == 1 {
 					status = core.StatusUnsat
 				}
-				s, err := vetSlot(cfg, cfg.Logics[logicIdx], slot, status, sut)
+				before := tr.Snapshot()
+				s, n, err := vetSlot(cfg, cfg.Logics[logicIdx], slot, status, sut)
+				tries[j] = n
+				deltas[j] = tr.Snapshot().Diff(before)
 				if err != nil {
 					if errs[w] == nil {
 						errs[w] = err
@@ -729,19 +789,23 @@ func buildCorpus(cfg Campaign, suts []*solver.Solver) ([]*seedPool, error) {
 			return nil, err
 		}
 	}
+	if rec != nil {
+		rec.vetted(tries, deltas)
+	}
 	return pools, nil
 }
 
-// vetSlot generates one vetted seed from the slot's own stream.
-func vetSlot(cfg Campaign, logic gen.Logic, slot int, status core.Status, sut *solver.Solver) (*core.Seed, error) {
+// vetSlot generates one vetted seed from the slot's own stream. The
+// second result is the number of generation attempts consumed.
+func vetSlot(cfg Campaign, logic gen.Logic, slot int, status core.Status, sut *solver.Solver) (*core.Seed, int, error) {
 	g, err := gen.New(logic, poolSeed(cfg.Seed, logic, slot, status))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for try := 0; try < 10; try++ {
 		s := g.Generate(status)
 		if sut == nil {
-			return s, nil
+			return s, try + 1, nil
 		}
 		run := RunSolver(sut, s.Script)
 		// Discard seeds the SUT already misbehaves on — crashes, wrong
@@ -754,9 +818,9 @@ func vetSlot(cfg Campaign, logic gen.Logic, slot int, status core.Status, sut *s
 			(run.Result == solver.ResSat) != (status == core.StatusSat) {
 			continue
 		}
-		return s, nil
+		return s, try + 1, nil
 	}
-	return g.Generate(status), nil
+	return g.Generate(status), 11, nil
 }
 
 func (p *seedPool) pick(status core.Status, rng *rand.Rand) *core.Seed {

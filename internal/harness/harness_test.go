@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/bugdb"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
+	"repro/internal/telemetry"
 )
 
 // shortIters scales a campaign's iteration count down under -short —
@@ -211,14 +214,20 @@ func TestThreadCountInvariance(t *testing.T) {
 			}
 			threadCounts := []int{1, 2, 4}
 			results := make([]*Result, len(threadCounts))
+			metrics := make([]telemetry.Snapshot, len(threadCounts))
+			traces := make([]*bytes.Buffer, len(threadCounts))
 			for i, threads := range threadCounts {
 				cfg := base
 				cfg.Threads = threads
+				cfg.Telemetry = telemetry.NewTracker()
+				traces[i] = &bytes.Buffer{}
+				cfg.Trace = traces[i]
 				res, err := Run(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				results[i] = res
+				metrics[i] = cfg.Telemetry.Snapshot()
 			}
 			ref := results[0]
 			if ref.Tests == 0 {
@@ -229,6 +238,13 @@ func TestThreadCountInvariance(t *testing.T) {
 				if summary(r) != summary(ref) {
 					t.Errorf("Threads=%d counts differ from Threads=1: %+v vs %+v",
 						threads, summary(r), summary(ref))
+				}
+				if !reflect.DeepEqual(metrics[i+1], metrics[0]) {
+					t.Errorf("Threads=%d telemetry snapshot differs from Threads=1:\n%+v\nvs\n%+v",
+						threads, metrics[i+1], metrics[0])
+				}
+				if !bytes.Equal(traces[i+1].Bytes(), traces[0].Bytes()) {
+					t.Errorf("Threads=%d JSONL trace differs from Threads=1", threads)
 				}
 				if len(r.Bugs) != len(ref.Bugs) {
 					t.Fatalf("Threads=%d found %d bugs, Threads=1 found %d",

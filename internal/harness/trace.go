@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/solver"
+	"repro/internal/telemetry"
+)
+
+// Campaign funnel metrics. Every stage a task (or corpus slot) passes
+// through is counted, so the funnel reads top to bottom: seeds are
+// generated and vetted into the corpus; each task either derives a test
+// (fusion or mutation), is rejected by the static gate (invalid), or
+// has no applicable derivation (skipped); derived tests are either
+// quarantined (watchdog cut-off, internal fault) or solved; solved
+// tests with a definite verdict are oracle-checked; oracle mismatches
+// and crashes become findings or duplicates. All increments happen in
+// the in-order classification stage, so totals are bit-identical for
+// any thread count.
+var (
+	cfSeedGenerated = telemetry.NewCounter("yy_funnel_seed_generated_total", "seed scripts generated while building the corpus")
+	cfSeedVetted    = telemetry.NewCounter("yy_funnel_seed_vetted_total", "corpus slots filled with a vetted seed")
+	cfDerived       = telemetry.NewCounter("yy_funnel_derived_total", "tasks that derived a test script (fusion or mutation)")
+	cfInvalid       = telemetry.NewCounter("yy_funnel_invalid_total", "tasks whose derivation was rejected by the static gate")
+	cfSkipped       = telemetry.NewCounter("yy_funnel_skipped_total", "tasks with no applicable derivation")
+	cfSolved        = telemetry.NewCounter("yy_funnel_solved_total", "derived tests classified after a completed solver run")
+	cfOracleChecked = telemetry.NewCounter("yy_funnel_oracle_checked_total", "solved tests whose verdict was compared against the oracle")
+	cfFindings      = telemetry.NewCounter("yy_funnel_findings_total", "deduplicated bugs recorded")
+	cfDuplicates    = telemetry.NewCounter("yy_funnel_duplicates_total", "additional triggers of already-found defects")
+	cfTimeouts      = telemetry.NewCounter("yy_funnel_timeouts_total", "solves halted by fuel exhaustion")
+	cfUnknowns      = telemetry.NewCounter("yy_funnel_unknowns_total", "solves that returned unknown")
+	cfQuarantined   = telemetry.NewCounter("yy_funnel_quarantined_total", "tasks withdrawn from classification")
+	cfRefDisagree   = telemetry.NewCounter("yy_funnel_reference_disagreements_total", "oracle mismatches with no defect fired")
+
+	hTaskFuel = telemetry.NewHistogram("yy_task_fuel_spent", "fuel steps consumed per solved task",
+		telemetry.ExpBuckets(1000, 10, 6))
+)
+
+// TraceSchema versions the JSONL trace record layout.
+const TraceSchema = 1
+
+// TraceRecord is one line of the campaign's JSONL event trace: the
+// task's RNG coordinates (the same campaign_seed/logic/iteration triple
+// the reproducer manifest carries, plus the campaign shape, so any
+// record can be replayed in isolation), its classification, and its
+// step-based effort. Records are emitted from the in-order
+// classification stage, so the byte stream is identical for any thread
+// count.
+type TraceRecord struct {
+	Schema int `json:"schema"`
+
+	// RNG coordinates and campaign shape, matching Manifest's fields.
+	CampaignSeed int64  `json:"campaign_seed"`
+	Logic        string `json:"logic"`
+	Iteration    int    `json:"iteration"`
+	Iterations   int    `json:"iterations"`
+	SeedPool     int    `json:"seed_pool"`
+	ConcatOnly   bool   `json:"concat_only,omitempty"`
+	Fuel         int64  `json:"fuel"`
+	CampaignMode string `json:"campaign_mode"`
+	SUT          string `json:"sut"`
+	Release      string `json:"release"`
+
+	// Task is the global task index (logic-major, then iteration).
+	Task int `json:"task"`
+
+	// Status is the funnel stage the task ended in: "invalid",
+	// "skipped", "quarantined", or "tested".
+	Status string `json:"status"`
+
+	// Verdicts of tested tasks. Observed is the SUT's verdict ("crash"
+	// when the run panicked); Oracle is the constructed expectation;
+	// Finding/Duplicate mark tasks that triggered a defect.
+	Oracle       string   `json:"oracle,omitempty"`
+	Mode         string   `json:"mode,omitempty"`
+	Observed     string   `json:"observed,omitempty"`
+	Reason       string   `json:"reason,omitempty"`
+	DefectsFired []string `json:"defects_fired,omitempty"`
+	Finding      bool     `json:"finding,omitempty"`
+	Duplicate    bool     `json:"duplicate,omitempty"`
+
+	// FuelSpent is the solve's step consumption; Counters carries the
+	// task's per-phase counter deltas (CDCL conflicts, simplex pivots,
+	// DFS nodes, …). encoding/json renders map keys sorted, so equal
+	// deltas render to identical bytes.
+	FuelSpent int64            `json:"fuel_spent"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+}
+
+// ReadTrace parses a JSONL trace file written via Campaign.Trace.
+func ReadTrace(path string) ([]TraceRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeTrace(f)
+}
+
+// DecodeTrace parses JSONL trace records from a reader.
+func DecodeTrace(r io.Reader) ([]TraceRecord, error) {
+	var out []TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("harness: trace line %d: %w", len(out)+1, err)
+		}
+		if rec.Schema != TraceSchema {
+			return nil, fmt.Errorf("harness: unsupported trace schema %d", rec.Schema)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resCounts snapshots the Result fields the funnel mirrors, so per-task
+// increments can be computed as before/after differences — guaranteeing
+// funnel totals always equal the Result counts.
+type resCounts struct {
+	tests, unknowns, timeouts, quarantined int
+	invalid, duplicates, refDisagree, bugs int
+}
+
+func countsOf(r *Result) resCounts {
+	return resCounts{
+		tests: r.Tests, unknowns: r.Unknowns, timeouts: r.Timeouts,
+		quarantined: r.Quarantined, invalid: r.InvalidInputs,
+		duplicates: r.Duplicates, refDisagree: r.ReferenceDisagreements,
+		bugs: len(r.Bugs),
+	}
+}
+
+// recorder aggregates campaign telemetry and emits the JSONL trace.
+// It is only ever called from the in-order classification stage; a
+// recorder with a nil tracker and nil writer no-ops everywhere.
+type recorder struct {
+	tr *telemetry.Tracker
+	jw *telemetry.JSONLWriter
+}
+
+// active reports whether per-task deltas need collecting at all.
+func (rc *recorder) active() bool { return rc.tr != nil || rc.jw != nil }
+
+// vetted folds the corpus-building telemetry in, in job order: per-slot
+// generation tries and per-slot engine-counter deltas.
+func (rc *recorder) vetted(tries []int, deltas []telemetry.Snapshot) {
+	if rc.tr == nil {
+		return
+	}
+	for j := range tries {
+		rc.tr.Merge(deltas[j])
+		rc.tr.Add(cfSeedGenerated, int64(tries[j]))
+		rc.tr.Inc(cfSeedVetted)
+	}
+}
+
+// task records one classified task: the worker's engine-counter delta,
+// the funnel increments implied by how applyOutcome changed the Result,
+// and the trace record.
+func (rc *recorder) task(cfg Campaign, out taskOutcome, prev resCounts, res *Result) {
+	if !rc.active() {
+		return
+	}
+	cur := countsOf(res)
+	rc.tr.Merge(out.delta)
+	fuelSpent := out.delta.Counter(solver.MetricSolveFuelSpent)
+
+	switch {
+	case out.invalid:
+		rc.tr.Inc(cfInvalid)
+	case !out.tested:
+		rc.tr.Inc(cfSkipped)
+	default:
+		rc.tr.Inc(cfDerived)
+	}
+	crashed := 0
+	if cur.tests > prev.tests && out.run.Crashed {
+		crashed = 1
+	}
+	rc.tr.Add(cfSolved, int64(cur.tests-prev.tests))
+	rc.tr.Add(cfOracleChecked, int64(cur.tests-prev.tests-(cur.timeouts-prev.timeouts)-(cur.unknowns-prev.unknowns)-crashed))
+	rc.tr.Add(cfTimeouts, int64(cur.timeouts-prev.timeouts))
+	rc.tr.Add(cfUnknowns, int64(cur.unknowns-prev.unknowns))
+	rc.tr.Add(cfQuarantined, int64(cur.quarantined-prev.quarantined))
+	rc.tr.Add(cfFindings, int64(cur.bugs-prev.bugs))
+	rc.tr.Add(cfDuplicates, int64(cur.duplicates-prev.duplicates))
+	rc.tr.Add(cfRefDisagree, int64(cur.refDisagree-prev.refDisagree))
+	if cur.tests > prev.tests {
+		rc.tr.Observe(hTaskFuel, fuelSpent)
+	}
+
+	if rc.jw == nil {
+		return
+	}
+	logicIdx, iter := out.id/cfg.Iterations, out.id%cfg.Iterations
+	rec := TraceRecord{
+		Schema:       TraceSchema,
+		CampaignSeed: cfg.Seed,
+		Logic:        string(cfg.Logics[logicIdx]),
+		Iteration:    iter,
+		Iterations:   cfg.Iterations,
+		SeedPool:     cfg.SeedPool,
+		ConcatOnly:   cfg.ConcatOnly,
+		Fuel:         cfg.Fuel,
+		CampaignMode: string(cfg.Mode),
+		SUT:          string(cfg.SUT),
+		Release:      cfg.Release,
+		Task:         out.id,
+		FuelSpent:    fuelSpent,
+	}
+	if len(out.delta.Counters) > 0 {
+		rec.Counters = out.delta.Counters
+	}
+	switch {
+	case out.invalid:
+		rec.Status = "invalid"
+	case !out.tested:
+		rec.Status = "skipped"
+	case out.wallTimeout || out.run.InternalFault:
+		rec.Status = "quarantined"
+		if out.wallTimeout {
+			rec.Observed = "wall-timeout"
+		} else {
+			rec.Observed = "internal-fault"
+			rec.Reason = out.run.FaultMsg
+		}
+	default:
+		rec.Status = "tested"
+		rec.Observed = out.run.Result.String()
+		rec.Reason = out.run.Reason
+		if out.run.Crashed {
+			rec.Observed = "crash"
+			rec.Reason = out.run.CrashMsg
+		}
+	}
+	if out.tested {
+		rec.Oracle = out.oracle().String()
+		if out.mutant != nil {
+			rec.Mode = "mutation"
+		} else {
+			rec.Mode = out.fused.Mode.String()
+		}
+		for _, d := range out.run.DefectsFired {
+			rec.DefectsFired = append(rec.DefectsFired, string(d))
+		}
+	}
+	rec.Finding = cur.bugs > prev.bugs
+	rec.Duplicate = cur.duplicates > prev.duplicates
+	rc.jw.Emit(rec)
+}

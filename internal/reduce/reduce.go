@@ -27,7 +27,8 @@ type Options struct {
 
 // Reduce shrinks the script while it stays interesting. The input
 // script must itself be interesting; Reduce returns the smallest
-// interesting shrink found.
+// interesting shrink found — every returned script satisfies the
+// predicate.
 func Reduce(s *smtlib.Script, interesting Interesting, opts Options) *smtlib.Script {
 	if opts.MaxChecks == 0 {
 		opts.MaxChecks = 2000
@@ -37,10 +38,24 @@ func Reduce(s *smtlib.Script, interesting Interesting, opts Options) *smtlib.Scr
 	for {
 		next, changed := r.pass(cur)
 		if !changed || r.budget <= 0 {
-			return Prettify(next)
+			return r.finish(next)
 		}
 		cur = next
 	}
+}
+
+// finish applies the pretty printer and confirms the result still
+// satisfies the predicate: flattening and neutral-element dropping
+// preserve semantics but not syntax, and the predicate may be
+// sensitive to the exact shape (a parser defect, a text match). When
+// the prettified script fails the check — or the budget is exhausted
+// before it can run — the verified shrink wins.
+func (r *reducer) finish(s *smtlib.Script) *smtlib.Script {
+	pretty := Prettify(s)
+	if smtlib.Print(pretty) == smtlib.Print(s) || r.check(pretty) {
+		return pretty
+	}
+	return s
 }
 
 type reducer struct {
@@ -125,6 +140,13 @@ func (r *reducer) dropUnusedDecls(s *smtlib.Script) (*smtlib.Script, bool) {
 // for boolean subterms — by true.
 func (r *reducer) shrinkTerms(s *smtlib.Script) (*smtlib.Script, bool) {
 	changed := false
+	// Reserve half the remaining budget for the other strategies: each
+	// accepted shrink restarts candidate enumeration, so an unbounded
+	// inner loop can burn every remaining check here and starve
+	// dropUnusedDecls, leaving dead declarations in the final script.
+	// The outer pass loop re-enters with a fresh reservation, so
+	// shrinking still converges when the budget allows.
+	floor := r.budget / 2
 	for idx, c := range s.Commands {
 		a, ok := c.(*smtlib.Assert)
 		if !ok {
@@ -132,9 +154,12 @@ func (r *reducer) shrinkTerms(s *smtlib.Script) (*smtlib.Script, bool) {
 		}
 		term := a.Term
 		improved := true
-		for improved && r.budget > 0 {
+		for improved && r.budget > floor {
 			improved = false
 			for _, cand := range shrinkCandidates(term) {
+				if r.budget <= floor {
+					break
+				}
 				candScript := s.Clone()
 				candScript.Commands[idx] = &smtlib.Assert{Term: cand}
 				if r.check(candScript) {

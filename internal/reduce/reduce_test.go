@@ -181,6 +181,58 @@ func evalAll(t *testing.T, s *smtlib.Script, model eval.Model) bool {
 	return true
 }
 
+// TestReduceResultSatisfiesPredicate: Reduce used to prettify the
+// final shrink without re-checking it, so a predicate sensitive to the
+// exact syntactic shape (here: the neutral-element pattern the pretty
+// printer rewrites away) got back a script that no longer satisfied
+// it. The contract is that every returned script passes the predicate.
+func TestReduceResultSatisfiesPredicate(t *testing.T) {
+	s := parse(t, `
+(declare-fun x () Int)
+(assert (> (+ x 0) 5))
+(check-sat)
+`)
+	interesting := func(c *smtlib.Script) bool {
+		return strings.Contains(smtlib.Print(c), "(+ x 0)")
+	}
+	if !interesting(s) {
+		t.Fatal("seed script not interesting")
+	}
+	out := Reduce(s, interesting, Options{})
+	if !interesting(out) {
+		t.Fatalf("Reduce returned a script that fails the predicate:\n%s", smtlib.Print(out))
+	}
+}
+
+// TestSmallBudgetStillDropsDecls: term shrinking used to re-enumerate
+// every candidate after each accepted shrink with no per-pass bound,
+// burning the whole MaxChecks budget before dropUnusedDecls ever ran —
+// small-budget reductions kept dead declarations. Shrinking must leave
+// room for the later strategies.
+func TestSmallBudgetStillDropsDecls(t *testing.T) {
+	s := parse(t, `
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= (div x 2) (+ x x x x x x x x)))
+(assert (> y 0))
+(check-sat)
+`)
+	interesting := func(c *smtlib.Script) bool {
+		for _, a := range c.Asserts() {
+			if ast.Ops(a)[ast.OpIntDiv] {
+				return true
+			}
+		}
+		return false
+	}
+	out := Reduce(s, interesting, Options{MaxChecks: 10})
+	for _, d := range out.Declarations() {
+		if d.Name == "y" {
+			t.Fatalf("term shrinking starved the declaration pass; unused y survived:\n%s", smtlib.Print(out))
+		}
+	}
+}
+
 func TestBudgetExhaustion(t *testing.T) {
 	s := parse(t, `
 (declare-fun x () Int)

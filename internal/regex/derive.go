@@ -1,6 +1,13 @@
 package regex
 
-import "repro/internal/fuel"
+import (
+	"repro/internal/fuel"
+	"repro/internal/telemetry"
+)
+
+// cDerivatives counts Brzozowski derivative constructions under a fuel
+// meter — one increment per fuel unit spent matching or enumerating.
+var cDerivatives = telemetry.NewCounter("yy_regex_derivatives_total", "regex derivative constructions")
 
 // Nullable reports whether r accepts the empty string.
 func Nullable(r Regex) bool {
@@ -100,6 +107,9 @@ type Matcher struct {
 	// solver detects the exhaustion on the meter and reports a timeout
 	// instead of trusting the answer.
 	Fuel *fuel.Meter
+	// Telem records derivative constructions into the owner's tracker.
+	// Nil records nothing.
+	Telem *telemetry.Tracker
 }
 
 // NewMatcher returns a matcher for r.
@@ -114,6 +124,7 @@ func (m *Matcher) Match(s string) bool {
 		if !m.Fuel.Spend(1) {
 			return false
 		}
+		m.Telem.Inc(cDerivatives)
 		cur = m.derive(cur, s[i])
 		if _, dead := cur.(none); dead {
 			return false
@@ -144,10 +155,12 @@ func (m *Matcher) derive(r Regex, c byte) Regex {
 func Match(r Regex, s string) bool { return NewMatcher(r).Match(s) }
 
 // MatchFuel is Match under a fuel meter: derivative construction spends
-// from m, and an exhausted meter yields false (no match claimed).
-func MatchFuel(r Regex, s string, m *fuel.Meter) bool {
+// from m, and an exhausted meter yields false (no match claimed). Each
+// derivative is recorded into tr (nil records nothing).
+func MatchFuel(r Regex, s string, m *fuel.Meter, tr *telemetry.Tracker) bool {
 	mm := NewMatcher(r)
 	mm.Fuel = m
+	mm.Telem = tr
 	return mm.Match(s)
 }
 
@@ -247,12 +260,13 @@ func IsEmpty(r Regex) bool {
 // shortlex order over the relevant alphabet. It is used by the string
 // solver to propose candidate assignments.
 func Enumerate(r Regex, maxLen, limit int) []string {
-	return EnumerateFuel(r, maxLen, limit, nil)
+	return EnumerateFuel(r, maxLen, limit, nil, nil)
 }
 
 // EnumerateFuel is Enumerate under a fuel meter: one unit per explored
-// derivative state. Exhaustion truncates the enumeration.
-func EnumerateFuel(r Regex, maxLen, limit int, m *fuel.Meter) []string {
+// derivative state. Exhaustion truncates the enumeration. Each explored
+// state is recorded into tr (nil records nothing).
+func EnumerateFuel(r Regex, maxLen, limit int, m *fuel.Meter, tr *telemetry.Tracker) []string {
 	alphabet := RelevantChars(r)
 	var out []string
 	type state struct {
@@ -268,6 +282,7 @@ func EnumerateFuel(r Regex, maxLen, limit int, m *fuel.Meter) []string {
 		if !m.Spend(1) {
 			break
 		}
+		tr.Inc(cDerivatives)
 		cur := queue[0]
 		queue = queue[1:]
 		if Nullable(cur.r) {

@@ -295,7 +295,7 @@ func refuteStrs(t *testing.T, decls map[string]ast.Sort, intVars map[string]bool
 		}
 		lits = append(lits, term)
 	}
-	return RefuteIntervals(lits, intVars, 8, nil)
+	return RefuteIntervals(lits, intVars, 8, nil, nil)
 }
 
 func TestRefuteIntervals(t *testing.T) {

@@ -6,7 +6,12 @@ import (
 
 	"repro/internal/fuel"
 	"repro/internal/solver/simplex"
+	"repro/internal/telemetry"
 )
+
+// cBnBNodes counts branch-and-bound / disequality-split tree nodes —
+// one increment per fuel unit spent at a node entry.
+var cBnBNodes = telemetry.NewCounter("yy_arith_bnb_nodes_total", "arithmetic branch-and-bound tree nodes")
 
 // Rel is the relation of an atom Expr ⋈ 0.
 type Rel int8
@@ -96,6 +101,9 @@ type Problem struct {
 	// one unit is spent per tree node, and the meter is handed down to
 	// the simplex core. Exhaustion yields Unknown. Nil means unlimited.
 	Fuel *fuel.Meter
+	// Telem records tree-node and pivot counts into the owner's
+	// tracker (handed down to the simplex core). Nil records nothing.
+	Telem *telemetry.Tracker
 }
 
 // Check decides the conjunction. On Sat, the returned assignment maps
@@ -106,7 +114,7 @@ func Check(p *Problem) (Status, map[string]*big.Rat) {
 	if budget == 0 {
 		budget = 400
 	}
-	c := &checker{intVars: p.IntVars, budget: budget, fuel: p.Fuel}
+	c := &checker{intVars: p.IntVars, budget: budget, fuel: p.Fuel, telem: p.Telem}
 	return c.solve(p.Atoms)
 }
 
@@ -114,12 +122,14 @@ type checker struct {
 	intVars map[string]bool
 	budget  int
 	fuel    *fuel.Meter
+	telem   *telemetry.Tracker
 }
 
 func (c *checker) solve(atoms []Atom) (Status, map[string]*big.Rat) {
 	if c.budget <= 0 || !c.fuel.Spend(1) {
 		return Unknown, nil
 	}
+	c.telem.Inc(cBnBNodes)
 	c.budget--
 
 	// Integer strengthening: over all-integer variables with integer
@@ -152,6 +162,7 @@ func (c *checker) solve(atoms []Atom) (Status, map[string]*big.Rat) {
 
 	sx := simplex.New()
 	sx.Fuel = c.fuel
+	sx.Telem = c.telem
 	idx := map[string]int{}
 	for _, v := range names {
 		idx[v] = sx.NewVar()

@@ -5,7 +5,12 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/fuel"
+	"repro/internal/telemetry"
 )
+
+// cIntervalSteps counts interval-refinement literal visits — one
+// increment per fuel unit spent in the propagation rounds.
+var cIntervalSteps = telemetry.NewCounter("yy_arith_interval_steps_total", "interval-refinement literal visits")
 
 // Env maps variable names to interval enclosures.
 type Env map[string]Interval
@@ -120,7 +125,8 @@ func evalIntervalApp(n *ast.App, env Env, intVars map[string]bool) Interval {
 // an equality over Int/Real terms. It returns true only if the
 // conjunction is definitely unsatisfiable. One fuel unit is spent per
 // literal per round; exhaustion abandons the refinement (no proof).
-func RefuteIntervals(lits []ast.Term, intVars map[string]bool, rounds int, m *fuel.Meter) bool {
+// Each visit is recorded into tr (nil records nothing).
+func RefuteIntervals(lits []ast.Term, intVars map[string]bool, rounds int, m *fuel.Meter, tr *telemetry.Tracker) bool {
 	env := Env{}
 	for round := 0; round < rounds; round++ {
 		changed := false
@@ -128,6 +134,7 @@ func RefuteIntervals(lits []ast.Term, intVars map[string]bool, rounds int, m *fu
 			if !m.Spend(1) {
 				return false
 			}
+			tr.Inc(cIntervalSteps)
 			app, ok := lit.(*ast.App)
 			if !ok {
 				continue

@@ -9,6 +9,17 @@ import (
 	"fmt"
 
 	"repro/internal/fuel"
+	"repro/internal/telemetry"
+)
+
+// Telemetry counters, registered once: each increments exactly where
+// the corresponding fuel unit is charged (conflicts, decisions) or the
+// restart policy fires, so instrumentation is step-based and the
+// totals are deterministic for a given clause set.
+var (
+	cConflicts = telemetry.NewCounter("yy_cdcl_conflicts_total", "CDCL conflicts analyzed")
+	cDecisions = telemetry.NewCounter("yy_cdcl_decisions_total", "CDCL branching decisions")
+	cRestarts  = telemetry.NewCounter("yy_cdcl_restarts_total", "CDCL geometric restarts")
 )
 
 // Status is the result of a Solve call.
@@ -117,6 +128,10 @@ type Solver struct {
 	// unit is spent per conflict and per decision, and an exhausted
 	// meter makes Solve return Unknown. Nil means unlimited.
 	Fuel *fuel.Meter
+
+	// Telem records per-phase counters at the fuel charge points. Nil
+	// records nothing.
+	Telem *telemetry.Tracker
 }
 
 // New returns an empty solver.
@@ -405,6 +420,7 @@ func (s *Solver) Solve() Status {
 		conflict := s.propagate()
 		if conflict != nil {
 			s.conflicts++
+			s.Telem.Inc(cConflicts)
 			if !s.Fuel.Spend(1) {
 				s.backtrackTo(0)
 				return Unknown
@@ -430,6 +446,7 @@ func (s *Solver) Solve() Status {
 			}
 			if s.conflicts-conflictsAtStart >= restartLimit {
 				restartLimit += restartLimit / 2
+				s.Telem.Inc(cRestarts)
 				s.backtrackTo(0)
 			}
 			continue
@@ -444,6 +461,7 @@ func (s *Solver) Solve() Status {
 			s.backtrackTo(0)
 			return Unknown
 		}
+		s.Telem.Inc(cDecisions)
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(l, nil)
 	}

@@ -7,7 +7,12 @@ import (
 	"strconv"
 
 	"repro/internal/fuel"
+	"repro/internal/telemetry"
 )
+
+// cPivots counts simplex pivot iterations — one increment per fuel
+// unit spent in the Check loop.
+var cPivots = telemetry.NewCounter("yy_simplex_pivots_total", "simplex pivot iterations")
 
 // Solver is an exact simplex instance. Build one per theory check:
 // allocate problem variables, assert bounds on variables or on linear
@@ -31,6 +36,10 @@ type Solver struct {
 	// unit is spent per pivot-loop iteration, and exhaustion surfaces
 	// as the same resource error as MaxPivots. Nil means unlimited.
 	Fuel *fuel.Meter
+
+	// Telem records pivot iterations into the owner's tracker. Nil
+	// records nothing.
+	Telem *telemetry.Tracker
 }
 
 // New returns an empty solver.
@@ -285,6 +294,7 @@ func (s *Solver) Check() (bool, error) {
 		if !s.Fuel.Spend(1) {
 			return false, fmt.Errorf("simplex: fuel exhausted")
 		}
+		s.Telem.Inc(cPivots)
 		// Bland's rule: smallest violating basic variable.
 		bi := -1
 		below := false

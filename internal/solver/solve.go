@@ -48,6 +48,7 @@ func (s *Solver) solve(asserts []ast.Term) Outcome {
 	}
 	ab.sat.MaxConflicts = 200000
 	ab.sat.Fuel = s.meter
+	ab.sat.Telem = s.cfg.Telemetry
 
 	sawUnknown := false
 	unknownStreak := 0
@@ -197,6 +198,7 @@ func (s *Solver) stringTheory(lits []ast.Term) (arith.Status, eval.Model) {
 		Limits: s.cfg.Limits.Strings,
 		Defect: func(id string) bool { return s.defect(Defect(id)) },
 		Fuel:   s.meter,
+		Telem:  s.cfg.Telemetry,
 	})
 	switch st {
 	case arith.Sat:
@@ -288,6 +290,7 @@ func (s *Solver) arithTheory(lits []ast.Term) (arith.Status, eval.Model) {
 		IntVars:    intVars,
 		NodeBudget: s.cfg.Limits.ArithNodeBudget,
 		Fuel:       s.meter,
+		Telem:      s.cfg.Telemetry,
 	})
 	switch st {
 	case arith.Unsat:
@@ -317,7 +320,7 @@ func (s *Solver) arithTheory(lits []ast.Term) (arith.Status, eval.Model) {
 	}
 	// Nonlinear refinement: try interval refutation, then a small
 	// deterministic sample grid for unvalued variables.
-	if arith.RefuteIntervals(lits, intVarsOf(lits), 8, s.meter) {
+	if arith.RefuteIntervals(lits, intVarsOf(lits), 8, s.meter, s.cfg.Telemetry) {
 		s.hit(pTheoryArithRefute)
 		return arith.Unsat, nil
 	}

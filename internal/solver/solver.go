@@ -18,7 +18,21 @@ import (
 	"repro/internal/fuel"
 	"repro/internal/smtlib"
 	"repro/internal/solver/strings"
+	"repro/internal/telemetry"
 )
+
+// Solver-level metrics: one solves increment per Solve call, and the
+// meter's total charge added when the call ends — through a defer, so
+// crash-defect panics still account the work performed before the
+// unwind.
+var (
+	cSolves    = telemetry.NewCounter("yy_solves_total", "solver Solve calls")
+	cFuelSpent = telemetry.NewCounter(MetricSolveFuelSpent, "fuel steps consumed across all solves")
+)
+
+// MetricSolveFuelSpent names the fuel-consumption counter; the harness
+// reads it out of per-task counter deltas for traces and histograms.
+const MetricSolveFuelSpent = "yy_solve_fuel_spent_total"
 
 // Result is the solver's answer.
 type Result int8
@@ -56,6 +70,9 @@ type Outcome struct {
 	// deduplicate bug reports (standing in for the paper's root-cause
 	// analysis on the solver's issue tracker).
 	DefectsFired []Defect
+	// FuelSpent is the number of fuel steps the solve consumed — the
+	// step-based effort measure recorded in telemetry and traces.
+	FuelSpent int64
 }
 
 // Defect identifies one injected bug site. The catalogue with metadata
@@ -207,7 +224,11 @@ type Config struct {
 	Defects map[Defect]bool
 	// Coverage records probe hits when non-nil.
 	Coverage *coverage.Tracker
-	Limits   Limits
+	// Telemetry records step counters (CDCL conflicts, simplex pivots,
+	// DFS nodes, …) when non-nil. Like the fuel meter, a tracker is not
+	// safe for concurrent use: one per solver instance.
+	Telemetry *telemetry.Tracker
+	Limits    Limits
 }
 
 // Has reports whether a defect is enabled.
@@ -284,7 +305,16 @@ func (s *Solver) SolveScript(sc *smtlib.Script) Outcome {
 func (s *Solver) Solve(asserts []ast.Term) Outcome {
 	s.fired = map[Defect]bool{}
 	s.meter = fuel.NewMeter(s.cfg.Limits.Fuel)
+	// Reset per-solve naming state: a reused solver must produce the
+	// same fresh names — and so the same per-task telemetry — whatever
+	// it solved before.
+	s.freshCounter = 0
+	s.cfg.Telemetry.Inc(cSolves)
+	// Deferred so crash-defect panics still account the steps performed
+	// before the unwind.
+	defer func() { s.cfg.Telemetry.Add(cFuelSpent, s.meter.Spent()) }()
 	out := s.solve(asserts)
+	out.FuelSpent = s.meter.Spent()
 	if out.Result == ResUnknown && s.meter.Exhausted() {
 		out.Result = ResTimeout
 		out.Reason = "fuel exhausted"

@@ -70,7 +70,7 @@ func (c *checker) completeArith(m eval.Model) (bool, eval.Model) {
 				}
 			}
 		}
-		st, am := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars, NodeBudget: 60})
+		st, am := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars, NodeBudget: 60, Telem: c.telem})
 		if st != arith.Sat {
 			return false, nil
 		}

@@ -123,7 +123,7 @@ func (c *checker) stringCandidates(v string) []eval.Value {
 	var raw []string
 	if rs := c.pos[v]; len(rs) > 0 {
 		r := regex.Inter(rs...)
-		raw = regex.EnumerateFuel(r, maxLen+2, c.lim.MaxCandidates, c.fuel)
+		raw = regex.EnumerateFuel(r, maxLen+2, c.lim.MaxCandidates, c.fuel, c.telem)
 	} else {
 		// Problem literals are strong candidates for equalities, and
 		// decimal renderings of integer constants matter for str.to_int
@@ -193,7 +193,7 @@ func abs(x int) int {
 
 func (c *checker) violatesNeg(v, s string) bool {
 	for _, r := range c.neg[v] {
-		if regex.MatchFuel(r, s, c.fuel) {
+		if regex.MatchFuel(r, s, c.fuel, c.telem) {
 			return true
 		}
 	}
@@ -225,6 +225,7 @@ func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Mode
 	if *nodes <= 0 || !c.fuel.Spend(1) {
 		return false, nil
 	}
+	c.telem.Inc(cDFSSteps)
 	*nodes--
 
 	// Propagation: a variable whose defining equation is ground under m

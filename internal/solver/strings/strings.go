@@ -16,7 +16,12 @@ import (
 	"repro/internal/fuel"
 	"repro/internal/regex"
 	"repro/internal/solver/arith"
+	"repro/internal/telemetry"
 )
+
+// cDFSSteps counts string-search DFS nodes — one increment per fuel
+// unit spent at a node entry.
+var cDFSSteps = telemetry.NewCounter("yy_strings_dfs_steps_total", "string-search DFS nodes")
 
 // Status mirrors arith.Status for string conjunctions.
 type Status = arith.Status
@@ -62,6 +67,9 @@ type Problem struct {
 	// is handed down to the length abstraction's arithmetic check.
 	// Nil means unlimited.
 	Fuel *fuel.Meter
+	// Telem records DFS-node and regex-derivative counts into the
+	// owner's tracker. Nil records nothing.
+	Telem *telemetry.Tracker
 }
 
 // Check decides the conjunction. On Sat the model assigns every free
@@ -71,7 +79,7 @@ func Check(p *Problem) (Status, eval.Model) {
 	if lim.MaxLen == 0 {
 		lim = DefaultLimits()
 	}
-	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect, fuel: p.Fuel}
+	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect, fuel: p.Fuel, telem: p.Telem}
 	if c.defect == nil {
 		c.defect = func(string) bool { return false }
 	}
@@ -84,6 +92,7 @@ type checker struct {
 	lim     Limits
 	defect  func(id string) bool
 	fuel    *fuel.Meter
+	telem   *telemetry.Tracker
 
 	strVars []string
 	intVars []string
@@ -396,9 +405,16 @@ func (c *checker) lengthAbstraction() (Status, map[string]int) {
 	}
 
 	// Abstraction variables from integer literals (str.len x becomes
-	// the length variable; other foreign terms stay free).
-	for v, t := range abs.Terms() {
-		if app, ok := t.(*ast.App); ok && app.Op == ast.OpStrLen {
+	// the length variable; other foreign terms stay free). Iterate in
+	// sorted order: atom order steers the simplex pivot sequence, and
+	// step counts must be reproducible run to run.
+	absVars := make([]string, 0, len(abs.Terms()))
+	for v := range abs.Terms() {
+		absVars = append(absVars, v)
+	}
+	sort.Strings(absVars)
+	for _, v := range absVars {
+		if app, ok := abs.Terms()[v].(*ast.App); ok && app.Op == ast.OpStrLen {
 			if sv, ok := app.Args[0].(*ast.Var); ok {
 				// Tie the abstraction var to the length var.
 				e := arith.NewLinExpr()
@@ -410,7 +426,7 @@ func (c *checker) lengthAbstraction() (Status, map[string]int) {
 		intVars[v] = true
 	}
 
-	st, model := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars, Fuel: c.fuel})
+	st, model := arith.Check(&arith.Problem{Atoms: atoms, IntVars: intVars, Fuel: c.fuel, Telem: c.telem})
 	if st == Unsat {
 		return Unsat, nil
 	}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// registeredHelp returns the help string for a metric name, consulting
+// the registry ("" when unregistered — snapshots may carry names from
+// another process in principle).
+func registeredHelp(name string) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, c := range counters {
+		if c.Name == name {
+			return c.Help
+		}
+	}
+	for _, h := range histograms {
+		if h.Name == name {
+			return h.Help
+		}
+	}
+	return ""
+}
+
+func registeredBuckets(name string) []int64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, h := range histograms {
+		if h.Name == name {
+			return h.Buckets
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, sorted by metric name so equal snapshots render to identical
+// bytes.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range s.Names() {
+		if help := registeredHelp(name); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		fmt.Fprintf(bw, "%s %d\n", name, s.Counters[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		hv := s.Histograms[name]
+		bounds := registeredBuckets(name)
+		if help := registeredHelp(name); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, c := range hv.Buckets {
+			cum += c
+			if i < len(bounds) {
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, bounds[i], cum)
+			}
+		}
+		cum += hv.Overflow
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", name, hv.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, hv.Count)
+	}
+	return bw.Flush()
+}
+
+// WriteSummary renders the snapshot as a human-readable table: one
+// aligned "name value" row per counter plus count/sum/mean rows per
+// histogram, sorted by name.
+func WriteSummary(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	names := s.Names()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(hnames)
+	for _, n := range names {
+		fmt.Fprintf(bw, "  %-*s %12d\n", width, n, s.Counters[n])
+	}
+	for _, n := range hnames {
+		hv := s.Histograms[n]
+		mean := int64(0)
+		if hv.Count > 0 {
+			mean = hv.Sum / hv.Count
+		}
+		fmt.Fprintf(bw, "  %-*s count=%d sum=%d mean=%d\n", width, n, hv.Count, hv.Sum, mean)
+	}
+	return bw.Flush()
+}
+
+// JSONLWriter streams records as JSON Lines: one Marshal per Emit,
+// newline-terminated, first error sticky. The campaign trace uses one
+// writer, fed only from the in-order classification stage, so the
+// emitted byte stream is deterministic.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one record. Errors are sticky and surfaced by Close.
+func (j *JSONLWriter) Emit(rec any) {
+	if j == nil || j.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Close flushes and returns the first error encountered.
+func (j *JSONLWriter) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
