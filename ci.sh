@@ -59,12 +59,27 @@ grep -q '^yy_funnel_solved_total [1-9]' "$tmpmetrics" || {
 }
 rm -f "$tmpmetrics"
 
+echo "== static analysis =="
+# The typed, call-graph-aware Go linter must be clean over the whole
+# module — every unbounded loop in solver scope charges fuel, no map
+# iteration order reaches rendered output, and every allow directive
+# carries a reason. Findings print before the non-zero exit.
+go run ./cmd/yylint -go .
+# SMT-LIB self-check: the analysis passes (including the abstract
+# interpreter) over a freshly generated seed corpus across all logics.
+# The pipeline's own output must be warning-free.
+tmpseeds=$(mktemp -d)
+go run ./cmd/genseeds -n 5 -seed 7 -out "$tmpseeds"
+find "$tmpseeds" -name '*.smt2' -print0 | xargs -0 go run ./cmd/yylint
+rm -rf "$tmpseeds"
+
 echo "== fuzz smoke =="
 # Bounded go-native fuzzing: each target gets a short budget on top of
 # its committed seed corpus. Failures minimize into testdata/fuzz/ and
 # become regression inputs.
 go test -fuzz='^FuzzParsePrintRoundTrip$' -fuzztime=10s ./internal/smtlib/
 go test -fuzz='^FuzzEvalTotal$' -fuzztime=10s ./internal/eval/
+go test -fuzz='^FuzzAnalyze$' -fuzztime=10s ./internal/analysis/
 
 echo "== bench gate =="
 # Short-mode regression gate: runs the fast benchmarks and compares

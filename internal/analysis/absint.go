@@ -1,0 +1,803 @@
+package analysis
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ast"
+	"repro/internal/smtlib"
+)
+
+// absintPass is an abstract interpretation of the script over a
+// sort-and-interval domain: every Int/Real term is approximated by a
+// closed interval [lo, hi] (with a nonzero refinement bit), every Bool
+// term by a three-valued truth value. The pass reports three shapes:
+//
+//   - trivially-unsat asserts (info): an assert that evaluates to
+//     definitely false, or whose own conjunctive skeleton refines some
+//     variable to an empty interval ((and (> x 3) (< x 2))). These are
+//     info-level for the same reason trivialPass's constant-atom notes
+//     are: the unsat seed generator *intentionally* manufactures
+//     unsatisfiability from constant atoms — including variable-carrying
+//     ones such as (< (* 0 u88) (- 4)) — so triviality is legitimate
+//     generator output, while still worth surfacing to a fuzzing
+//     service whose solver budget it wastes.
+//   - trivially-sat scripts (info): every assert evaluates to
+//     definitely true under the unconstrained environment (each assert
+//     is an interval tautology, e.g. (<= 0 (abs x))). The script
+//     exercises nothing.
+//   - unguarded division ranges (warning): a divisor whose interval
+//     contains zero and that no guard fact in scope proves nonzero.
+//     This strictly refines the divguard pass: the same
+//     context-sensitive guard facts are consulted, and additionally a
+//     divisor whose *interval* already excludes zero (e.g.
+//     (+ 1 (abs y))) needs no syntactic guard. Every absint division
+//     finding is therefore also a divguard finding, which keeps
+//     generator and fusion outputs — held to zero warnings by the
+//     self-check tests — absint-clean by construction.
+//
+// Soundness notes. Truth and falsity are only reported when they hold
+// for every assignment within the abstraction: asserts are *evaluated*
+// under the unconstrained environment (every variable ⊤), and the
+// refinement used for the contradiction check only ever consumes the
+// assert's own conjuncts, so an empty interval really is a proof of
+// unsatisfiability. Strict bounds are tightened by one only at Int sort;
+// at Real sort (< x 2) refines to the sound closed approximation
+// x ∈ (-∞, 2].
+type absintPass struct{}
+
+func (absintPass) Name() string { return "absint" }
+
+func (absintPass) Analyze(s *smtlib.Script, _ *FusionMeta) []Diagnostic {
+	var out []Diagnostic
+	asserts := s.Asserts()
+	if len(asserts) == 0 {
+		return nil
+	}
+
+	// Per-assert triviality, under the unconstrained environment.
+	allTrue := true
+	for i, a := range asserts {
+		path := fmt.Sprintf("assert[%d]", i)
+		switch evalBool(a, env{}) {
+		case triFalse:
+			allTrue = false
+			out = append(out, Diagnostic{
+				Pass: "absint", Severity: SeverityInfo, Path: path,
+				Message: "assert is trivially unsatisfiable: it evaluates to false for every assignment under interval analysis",
+			})
+			continue
+		case triUnknown:
+			allTrue = false
+		}
+		// Contradiction by self-refinement: assume the assert, narrow the
+		// variables it constrains, and look for an empty interval (or a
+		// now-definite falsehood, e.g. (and (> x 3) (< x 2))).
+		e := env{}
+		for round := 0; round < 3; round++ {
+			refineTerm(a, e, true)
+		}
+		if v, ok := e.contradiction(); ok {
+			out = append(out, Diagnostic{
+				Pass: "absint", Severity: SeverityInfo, Path: path,
+				Message: fmt.Sprintf("assert is trivially unsatisfiable: its own conjuncts refine %q to the empty interval", v),
+			})
+		} else if evalBool(a, e) == triFalse {
+			out = append(out, Diagnostic{
+				Pass: "absint", Severity: SeverityInfo, Path: path,
+				Message: "assert is trivially unsatisfiable: it evaluates to false under its own refinement",
+			})
+		}
+	}
+	if allTrue {
+		out = append(out, Diagnostic{
+			Pass: "absint", Severity: SeverityInfo, Path: "",
+			Message: "script is trivially satisfiable: every assert is an interval tautology",
+		})
+	}
+
+	// Division ranges, under the same context-sensitive guard facts as
+	// divguard plus a global environment refined by all asserts (they
+	// are conjoined, so their refinements hold at every division site).
+	global := factSet{}
+	ge := env{}
+	for _, a := range asserts {
+		collectGuardFacts(a, global)
+	}
+	for round := 0; round < 3; round++ {
+		for _, a := range asserts {
+			refineTerm(a, ge, true)
+		}
+	}
+	for i, a := range asserts {
+		checkDivisorIntervals(a, fmt.Sprintf("assert[%d]", i), global, ge, &out)
+	}
+	return out
+}
+
+// checkDivisorIntervals mirrors divguard's context walk (conjunct
+// siblings guard each other, disjuncts see only their own facts, ite
+// branches see the condition or its negation) and reports divisors
+// whose interval still contains zero.
+func checkDivisorIntervals(t ast.Term, path string, facts factSet, e env, out *[]Diagnostic) {
+	switch n := t.(type) {
+	case *ast.App:
+		switch n.Op {
+		case ast.OpAnd:
+			local := factSet{}
+			for _, a := range n.Args {
+				collectGuardFacts(a, local)
+			}
+			inner := facts.extend(local)
+			for i, a := range n.Args {
+				checkDivisorIntervals(a, fmt.Sprintf("%s.arg[%d]", path, i), inner, e, out)
+			}
+			return
+		case ast.OpOr:
+			for i, a := range n.Args {
+				local := factSet{}
+				collectGuardFacts(a, local)
+				checkDivisorIntervals(a, fmt.Sprintf("%s.arg[%d]", path, i), facts.extend(local), e, out)
+			}
+			return
+		case ast.OpIte:
+			checkDivisorIntervals(n.Args[0], path+".arg[0]", facts, e, out)
+			thenFacts := factSet{}
+			collectGuardFacts(n.Args[0], thenFacts)
+			checkDivisorIntervals(n.Args[1], path+".arg[1]", facts.extend(thenFacts), refinedBy(e, n.Args[0], true), out)
+			elseFacts := factSet{}
+			negatedGuardFacts(n.Args[0], elseFacts)
+			checkDivisorIntervals(n.Args[2], path+".arg[2]", facts.extend(elseFacts), refinedBy(e, n.Args[0], false), out)
+			return
+		case ast.OpIntDiv, ast.OpRealDiv:
+			for i := 1; i < len(n.Args); i++ {
+				reportDivisorInterval(n, n.Args[i], fmt.Sprintf("%s.arg[%d]", path, i), facts, e, out)
+			}
+		case ast.OpMod:
+			if len(n.Args) == 2 {
+				reportDivisorInterval(n, n.Args[1], path+".arg[1]", facts, e, out)
+			}
+		}
+		for i, a := range n.Args {
+			checkDivisorIntervals(a, fmt.Sprintf("%s.arg[%d]", path, i), facts, e, out)
+		}
+	case *ast.Quant:
+		checkDivisorIntervals(n.Body, path+".body", facts, e, out)
+	}
+}
+
+func reportDivisorInterval(div *ast.App, d ast.Term, path string, facts factSet, e env, out *[]Diagnostic) {
+	// Everything divguard accepts is accepted here, so absint's division
+	// findings are a subset of divguard's.
+	if isNonzeroLiteral(d) || facts[ast.Print(d)] {
+		return
+	}
+	v := evalNum(d, e)
+	if v.excludesZero() {
+		return
+	}
+	*out = append(*out, Diagnostic{
+		Pass: "absint", Severity: SeverityWarning, Path: path,
+		Message: fmt.Sprintf("(%s ...) divisor %s has interval %s, which contains zero, and no guard in scope proves it nonzero",
+			div.Op, ast.Print(d), v),
+	})
+}
+
+// --- three-valued booleans ---
+
+type tri int8
+
+const (
+	triUnknown tri = iota
+	triTrue
+	triFalse
+)
+
+func triOf(b bool) tri {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+func (t tri) not() tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	}
+	return triUnknown
+}
+
+// --- intervals ---
+
+// ival is a closed interval over the extended rationals: a nil bound is
+// -∞ (lo) or +∞ (hi). nz records that the value is additionally known
+// nonzero (which an interval containing zero cannot express).
+type ival struct {
+	lo, hi *big.Rat
+	nz     bool
+}
+
+func top() ival             { return ival{} }
+func point(r *big.Rat) ival { return ival{lo: r, hi: r} }
+func pointInt(v *big.Int) ival {
+	r := new(big.Rat).SetInt(v)
+	return ival{lo: r, hi: r}
+}
+
+func (v ival) isEmpty() bool {
+	return v.lo != nil && v.hi != nil && v.lo.Cmp(v.hi) > 0
+}
+
+func (v ival) isPoint() bool {
+	return v.lo != nil && v.hi != nil && v.lo.Cmp(v.hi) == 0
+}
+
+func (v ival) excludesZero() bool {
+	if v.nz || v.isEmpty() {
+		return true
+	}
+	if v.lo != nil && v.lo.Sign() > 0 {
+		return true
+	}
+	return v.hi != nil && v.hi.Sign() < 0
+}
+
+func (v ival) String() string {
+	lo, hi := "-inf", "+inf"
+	if v.lo != nil {
+		lo = v.lo.RatString()
+	}
+	if v.hi != nil {
+		hi = v.hi.RatString()
+	}
+	s := "[" + lo + ", " + hi + "]"
+	if v.nz {
+		s += "\\{0}"
+	}
+	return s
+}
+
+func ivalNeg(v ival) ival {
+	out := ival{nz: v.nz}
+	if v.hi != nil {
+		out.lo = new(big.Rat).Neg(v.hi)
+	}
+	if v.lo != nil {
+		out.hi = new(big.Rat).Neg(v.lo)
+	}
+	return out
+}
+
+func ivalAdd(a, b ival) ival {
+	var out ival
+	if a.lo != nil && b.lo != nil {
+		out.lo = new(big.Rat).Add(a.lo, b.lo)
+	}
+	if a.hi != nil && b.hi != nil {
+		out.hi = new(big.Rat).Add(a.hi, b.hi)
+	}
+	return out
+}
+
+func ivalSub(a, b ival) ival { return ivalAdd(a, ivalNeg(b)) }
+
+// bnd is one interval endpoint for multiplication: inf is -1/0/+1.
+type bnd struct {
+	r   *big.Rat
+	inf int
+}
+
+func (b bnd) sign() int {
+	if b.inf != 0 {
+		return b.inf
+	}
+	return b.r.Sign()
+}
+
+func mulBnd(a, b bnd) bnd {
+	if a.inf != 0 || b.inf != 0 {
+		s := a.sign() * b.sign()
+		if s == 0 {
+			// 0 × ∞: endpoint of an unbounded interval times zero —
+			// actual values are finite, so the product endpoint is 0.
+			return bnd{r: new(big.Rat)}
+		}
+		return bnd{inf: s}
+	}
+	return bnd{r: new(big.Rat).Mul(a.r, b.r)}
+}
+
+func lessBnd(a, b bnd) bool {
+	if a.inf != b.inf {
+		return a.inf < b.inf
+	}
+	if a.inf != 0 {
+		return false
+	}
+	return a.r.Cmp(b.r) < 0
+}
+
+func ivalMul(a, b ival) ival {
+	aLo, aHi := bnd{r: a.lo, inf: -1}, bnd{r: a.hi, inf: 1}
+	if a.lo != nil {
+		aLo = bnd{r: a.lo}
+	}
+	if a.hi != nil {
+		aHi = bnd{r: a.hi}
+	}
+	bLo, bHi := bnd{r: b.lo, inf: -1}, bnd{r: b.hi, inf: 1}
+	if b.lo != nil {
+		bLo = bnd{r: b.lo}
+	}
+	if b.hi != nil {
+		bHi = bnd{r: b.hi}
+	}
+	cands := []bnd{mulBnd(aLo, bLo), mulBnd(aLo, bHi), mulBnd(aHi, bLo), mulBnd(aHi, bHi)}
+	min, max := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		if lessBnd(c, min) {
+			min = c
+		}
+		if lessBnd(max, c) {
+			max = c
+		}
+	}
+	var out ival
+	if min.inf == 0 {
+		out.lo = min.r
+	}
+	if max.inf == 0 {
+		out.hi = max.r
+	}
+	out.nz = a.nz && b.nz || a.excludesZero() && b.excludesZero()
+	return out
+}
+
+func ivalAbs(v ival) ival {
+	switch {
+	case v.lo != nil && v.lo.Sign() >= 0:
+		return v
+	case v.hi != nil && v.hi.Sign() <= 0:
+		return ivalNeg(v)
+	}
+	out := ival{lo: new(big.Rat), nz: v.nz}
+	if v.lo != nil && v.hi != nil {
+		a := new(big.Rat).Neg(v.lo)
+		if a.Cmp(v.hi) < 0 {
+			a = v.hi
+		}
+		out.hi = a
+	}
+	return out
+}
+
+func ivalJoin(a, b ival) ival {
+	var out ival
+	if a.lo != nil && b.lo != nil {
+		out.lo = a.lo
+		if b.lo.Cmp(a.lo) < 0 {
+			out.lo = b.lo
+		}
+	}
+	if a.hi != nil && b.hi != nil {
+		out.hi = a.hi
+		if b.hi.Cmp(a.hi) > 0 {
+			out.hi = b.hi
+		}
+	}
+	out.nz = a.excludesZero() && b.excludesZero()
+	return out
+}
+
+func ivalMeet(a, b ival) ival {
+	out := ival{lo: a.lo, hi: a.hi, nz: a.nz || b.nz}
+	if b.lo != nil && (out.lo == nil || b.lo.Cmp(out.lo) > 0) {
+		out.lo = b.lo
+	}
+	if b.hi != nil && (out.hi == nil || b.hi.Cmp(out.hi) < 0) {
+		out.hi = b.hi
+	}
+	return out
+}
+
+// ivalFloor is to_int: the floor of every value in the interval.
+func ivalFloor(v ival) ival {
+	out := ival{}
+	if v.lo != nil {
+		out.lo = ratFloor(v.lo)
+	}
+	if v.hi != nil {
+		out.hi = ratFloor(v.hi)
+	}
+	return out
+}
+
+func ratFloor(r *big.Rat) *big.Rat {
+	q := new(big.Int).Div(r.Num(), r.Denom()) // Euclidean: floors for positive denom
+	return new(big.Rat).SetInt(q)
+}
+
+// --- evaluation ---
+
+// env maps Int/Real variable names to their interval approximation;
+// absent means ⊤.
+type env map[string]ival
+
+func (e env) get(name string) ival {
+	if v, ok := e[name]; ok {
+		return v
+	}
+	return top()
+}
+
+// contradiction returns a variable refined to the empty interval.
+func (e env) contradiction() (string, bool) {
+	for name, v := range e {
+		if v.isEmpty() {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// refinedBy returns e narrowed by cond (or its negation).
+func refinedBy(e env, cond ast.Term, positive bool) env {
+	out := e.clone()
+	refineTerm(cond, out, positive)
+	return out
+}
+
+// evalNum returns the interval approximation of a numeric term.
+func evalNum(t ast.Term, e env) ival {
+	switch n := t.(type) {
+	case *ast.IntLit:
+		return pointInt(n.V)
+	case *ast.RealLit:
+		return point(n.V)
+	case *ast.Var:
+		return e.get(n.Name)
+	case *ast.App:
+		switch n.Op {
+		case ast.OpAdd:
+			out := evalNum(n.Args[0], e)
+			for _, a := range n.Args[1:] {
+				out = ivalAdd(out, evalNum(a, e))
+			}
+			return out
+		case ast.OpSub:
+			out := evalNum(n.Args[0], e)
+			for _, a := range n.Args[1:] {
+				out = ivalSub(out, evalNum(a, e))
+			}
+			return out
+		case ast.OpNeg:
+			return ivalNeg(evalNum(n.Args[0], e))
+		case ast.OpMul:
+			out := evalNum(n.Args[0], e)
+			for _, a := range n.Args[1:] {
+				out = ivalMul(out, evalNum(a, e))
+			}
+			return out
+		case ast.OpAbs:
+			return ivalAbs(evalNum(n.Args[0], e))
+		case ast.OpToReal:
+			return evalNum(n.Args[0], e)
+		case ast.OpToInt:
+			return ivalFloor(evalNum(n.Args[0], e))
+		case ast.OpIte:
+			switch evalBool(n.Args[0], e) {
+			case triTrue:
+				return evalNum(n.Args[1], e)
+			case triFalse:
+				return evalNum(n.Args[2], e)
+			}
+			// Each branch may assume the condition's truth: this is what
+			// proves (ite (= y 0) 1 y) nonzero.
+			return ivalJoin(
+				evalNum(n.Args[1], refinedBy(e, n.Args[0], true)),
+				evalNum(n.Args[2], refinedBy(e, n.Args[0], false)),
+			)
+		case ast.OpStrLen, ast.OpStrIndexOf:
+			// Lengths are nonnegative; str.indexof is ≥ -1, widened.
+			lo := big.NewRat(0, 1)
+			if n.Op == ast.OpStrIndexOf {
+				lo = big.NewRat(-1, 1)
+			}
+			return ival{lo: lo}
+		}
+	}
+	return top()
+}
+
+// evalBool returns the three-valued truth of a boolean term.
+func evalBool(t ast.Term, e env) tri {
+	switch n := t.(type) {
+	case *ast.BoolLit:
+		return triOf(n.V)
+	case *ast.App:
+		switch n.Op {
+		case ast.OpNot:
+			return evalBool(n.Args[0], e).not()
+		case ast.OpAnd:
+			out := triTrue
+			for _, a := range n.Args {
+				switch evalBool(a, e) {
+				case triFalse:
+					return triFalse
+				case triUnknown:
+					out = triUnknown
+				}
+			}
+			return out
+		case ast.OpOr:
+			out := triFalse
+			for _, a := range n.Args {
+				switch evalBool(a, e) {
+				case triTrue:
+					return triTrue
+				case triUnknown:
+					out = triUnknown
+				}
+			}
+			return out
+		case ast.OpIte:
+			switch evalBool(n.Args[0], e) {
+			case triTrue:
+				return evalBool(n.Args[1], e)
+			case triFalse:
+				return evalBool(n.Args[2], e)
+			}
+			a := evalBool(n.Args[1], refinedBy(e, n.Args[0], true))
+			b := evalBool(n.Args[2], refinedBy(e, n.Args[0], false))
+			if a == b {
+				return a
+			}
+			return triUnknown
+		case ast.OpEq:
+			return evalEq(n.Args, e)
+		case ast.OpDistinct:
+			if len(n.Args) == 2 {
+				return evalEq(n.Args, e).not()
+			}
+		case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+			if len(n.Args) == 2 && n.Args[0].Sort().IsArith() {
+				return evalCmp(n.Op, evalNum(n.Args[0], e), evalNum(n.Args[1], e))
+			}
+		}
+	}
+	return triUnknown
+}
+
+// evalEq decides (= a b ...) pairwise: definitely true only when every
+// pair is definitely equal, definitely false when some pair is
+// definitely unequal.
+func evalEq(args []ast.Term, e env) tri {
+	out := triTrue
+	for i := 0; i < len(args); i++ {
+		for j := i + 1; j < len(args); j++ {
+			switch evalEqPair(args[i], args[j], e) {
+			case triFalse:
+				return triFalse
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+	}
+	return out
+}
+
+func evalEqPair(a, b ast.Term, e env) tri {
+	if a.Sort() == ast.SortBool {
+		va, vb := evalBool(a, e), evalBool(b, e)
+		if va == triUnknown || vb == triUnknown {
+			return triUnknown
+		}
+		return triOf(va == vb)
+	}
+	if !a.Sort().IsArith() {
+		return triUnknown
+	}
+	va, vb := evalNum(a, e), evalNum(b, e)
+	if va.isPoint() && vb.isPoint() && va.lo.Cmp(vb.lo) == 0 {
+		return triTrue
+	}
+	// Disjoint intervals, or a nonzero value against the zero point.
+	if va.hi != nil && vb.lo != nil && va.hi.Cmp(vb.lo) < 0 {
+		return triFalse
+	}
+	if va.lo != nil && vb.hi != nil && va.lo.Cmp(vb.hi) > 0 {
+		return triFalse
+	}
+	if va.nz && vb.isPoint() && vb.lo.Sign() == 0 {
+		return triFalse
+	}
+	if vb.nz && va.isPoint() && va.lo.Sign() == 0 {
+		return triFalse
+	}
+	return triUnknown
+}
+
+func evalCmp(op ast.Op, a, b ival) tri {
+	switch op {
+	case ast.OpGt:
+		return evalCmp(ast.OpLt, b, a)
+	case ast.OpGe:
+		return evalCmp(ast.OpLe, b, a)
+	case ast.OpLt:
+		if a.hi != nil && b.lo != nil && a.hi.Cmp(b.lo) < 0 {
+			return triTrue
+		}
+		if a.lo != nil && b.hi != nil && a.lo.Cmp(b.hi) >= 0 {
+			return triFalse
+		}
+	case ast.OpLe:
+		if a.hi != nil && b.lo != nil && a.hi.Cmp(b.lo) <= 0 {
+			return triTrue
+		}
+		if a.lo != nil && b.hi != nil && a.lo.Cmp(b.hi) > 0 {
+			return triFalse
+		}
+	}
+	return triUnknown
+}
+
+// --- refinement ---
+
+// refineTerm narrows e under the assumption that t holds (positive) or
+// fails (negative). Only conjunctive structure is consumed — (or ...)
+// under a positive assumption refines nothing — so the refinement is
+// sound for the contradiction check.
+func refineTerm(t ast.Term, e env, positive bool) {
+	n, ok := t.(*ast.App)
+	if !ok {
+		return
+	}
+	switch n.Op {
+	case ast.OpNot:
+		refineTerm(n.Args[0], e, !positive)
+	case ast.OpAnd:
+		if positive {
+			for _, a := range n.Args {
+				refineTerm(a, e, true)
+			}
+		}
+	case ast.OpOr:
+		if !positive {
+			// ¬(a ∨ b) ⇒ ¬a ∧ ¬b.
+			for _, a := range n.Args {
+				refineTerm(a, e, false)
+			}
+		}
+	case ast.OpEq:
+		if len(n.Args) != 2 || !n.Args[0].Sort().IsArith() {
+			return
+		}
+		if positive {
+			refineEq(n.Args[0], n.Args[1], e)
+			refineEq(n.Args[1], n.Args[0], e)
+		} else {
+			refineDistinct(n.Args[0], n.Args[1], e)
+		}
+	case ast.OpDistinct:
+		if len(n.Args) == 2 && n.Args[0].Sort().IsArith() {
+			if positive {
+				refineDistinct(n.Args[0], n.Args[1], e)
+			} else {
+				refineEq(n.Args[0], n.Args[1], e)
+				refineEq(n.Args[1], n.Args[0], e)
+			}
+		}
+	case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+		if len(n.Args) != 2 || !n.Args[0].Sort().IsArith() {
+			return
+		}
+		op := n.Op
+		if !positive {
+			op = negateCmp(op)
+		}
+		refineCmp(op, n.Args[0], n.Args[1], e)
+		refineCmp(flipCmp(op), n.Args[1], n.Args[0], e)
+	}
+}
+
+func negateCmp(op ast.Op) ast.Op {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGe
+	case ast.OpLe:
+		return ast.OpGt
+	case ast.OpGt:
+		return ast.OpLe
+	default:
+		return ast.OpLt
+	}
+}
+
+// flipCmp mirrors the comparison so the refined term is on the left.
+func flipCmp(op ast.Op) ast.Op {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGt
+	case ast.OpLe:
+		return ast.OpGe
+	case ast.OpGt:
+		return ast.OpLt
+	default:
+		return ast.OpLe
+	}
+}
+
+// refineEq narrows a variable on the left to the interval of the right.
+func refineEq(a, b ast.Term, e env) {
+	v, ok := a.(*ast.Var)
+	if !ok {
+		return
+	}
+	e[v.Name] = ivalMeet(e.get(v.Name), evalNum(b, e))
+}
+
+// refineDistinct records the nonzero bit when one side is literally 0.
+func refineDistinct(a, b ast.Term, e env) {
+	mark := func(x, zero ast.Term) {
+		v, ok := x.(*ast.Var)
+		if !ok || !isZeroLiteral(zero) {
+			return
+		}
+		iv := e.get(v.Name)
+		iv.nz = true
+		e[v.Name] = iv
+	}
+	mark(a, b)
+	mark(b, a)
+}
+
+// refineCmp narrows a variable on the left by `v op b`.
+func refineCmp(op ast.Op, a, b ast.Term, e env) {
+	v, ok := a.(*ast.Var)
+	if !ok {
+		return
+	}
+	bv := evalNum(b, e)
+	cur := e.get(v.Name)
+	one := big.NewRat(1, 1)
+	switch op {
+	case ast.OpLt:
+		if bv.hi != nil {
+			hi := bv.hi
+			// At Int sort, v < n with integral n tightens to v ≤ n-1;
+			// at Real sort the closed bound v ≤ n is the sound widening.
+			if v.VSort == ast.SortInt && hi.IsInt() {
+				hi = new(big.Rat).Sub(hi, one)
+			}
+			cur = ivalMeet(cur, ival{hi: hi})
+		}
+	case ast.OpLe:
+		if bv.hi != nil {
+			cur = ivalMeet(cur, ival{hi: bv.hi})
+		}
+	case ast.OpGt:
+		if bv.lo != nil {
+			lo := bv.lo
+			if v.VSort == ast.SortInt && lo.IsInt() {
+				lo = new(big.Rat).Add(lo, one)
+			}
+			cur = ivalMeet(cur, ival{lo: lo})
+		}
+	case ast.OpGe:
+		if bv.lo != nil {
+			cur = ivalMeet(cur, ival{lo: bv.lo})
+		}
+	}
+	e[v.Name] = cur
+}

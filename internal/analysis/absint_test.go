@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runAbsint parses src and runs only the absint pass.
+func runAbsint(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	return (absintPass{}).Analyze(mustParse(t, src), nil)
+}
+
+// TestAbsintNegativeSuite is the known-bad script table: each entry
+// must produce exactly one absint finding, anchored where expected.
+func TestAbsintNegativeSuite(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		severity Severity
+		path     string
+		contains string
+	}{
+		{
+			name: "interval-trivial conjunction",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(assert (and (> x 3) (< x 2)))
+(check-sat)
+`,
+			severity: SeverityInfo,
+			path:     "assert[0]",
+			contains: "empty interval",
+		},
+		{
+			name: "interval-trivial abs bound",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(assert (< (abs x) 0))
+(check-sat)
+`,
+			severity: SeverityInfo,
+			path:     "assert[0]",
+			contains: "trivially unsatisfiable",
+		},
+		{
+			name: "trivially satisfiable script",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(assert (<= 0 (abs x)))
+(assert (< 1 2))
+(check-sat)
+`,
+			severity: SeverityInfo,
+			path:     "",
+			contains: "trivially satisfiable",
+		},
+		{
+			name: "reachable zero divisor",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (and (>= y 0) (<= y 0)))
+(assert (> (div x y) 1))
+(check-sat)
+`,
+			severity: SeverityWarning,
+			path:     "assert[1].arg[0].arg[1]",
+			contains: "contains zero",
+		},
+		{
+			name: "unconstrained divisor",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (distinct x (div x y)))
+(check-sat)
+`,
+			severity: SeverityWarning,
+			path:     "assert[0].arg[1].arg[1]",
+			contains: "contains zero",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := runAbsint(t, c.src)
+			if len(got) != 1 {
+				t.Fatalf("got %d findings, want exactly 1: %v", len(got), got)
+			}
+			d := got[0]
+			if d.Severity != c.severity || d.Path != c.path || !strings.Contains(d.Message, c.contains) {
+				t.Fatalf("finding %v, want severity=%v path=%q message containing %q", d, c.severity, c.path, c.contains)
+			}
+		})
+	}
+}
+
+// TestAbsintCleanScripts is the known-good table: scripts the pass must
+// stay silent on, including the shapes only interval reasoning (not
+// divguard's syntactic guards) can prove safe.
+func TestAbsintCleanScripts(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "ordinary constraint",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (> (+ x y) 3))
+(assert (< (- x y) 2))
+(check-sat)
+`,
+		},
+		{
+			name: "guarded divisor",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (distinct y 0))
+(assert (> (div x y) 1))
+(check-sat)
+`,
+		},
+		{
+			name: "interval-proven divisor without syntactic guard",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (> (div x (+ 1 (abs y))) 1))
+(check-sat)
+`,
+		},
+		{
+			name: "assert-range-proven divisor",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (> y 5))
+(assert (> (div x y) 1))
+(check-sat)
+`,
+		},
+		{
+			name: "ite-selected nonzero divisor",
+			src: `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (> (div x (ite (= y 0) 1 y)) 1))
+(check-sat)
+`,
+		},
+		{
+			name: "strict real bound stays satisfiable",
+			src: `
+(set-logic QF_LRA)
+(declare-fun x () Real)
+(assert (and (< x 2.0) (> x 1.0)))
+(check-sat)
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := runAbsint(t, c.src); len(got) != 0 {
+				t.Fatalf("want no findings, got %v", got)
+			}
+		})
+	}
+}
+
+// TestAbsintDivisionSubsetOfDivguard checks the containment that keeps
+// the generator corpus absint-clean: wherever absint reports a division
+// warning, divguard reports one at the same path.
+func TestAbsintDivisionSubsetOfDivguard(t *testing.T) {
+	srcs := []string{
+		`
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (> (div x y) (mod x y)))
+(check-sat)
+`,
+		`
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (or (distinct y 0) (> (div x y) 1)))
+(assert (ite (= y 0) (> (div x y) 0) (< (div x y) 0)))
+(check-sat)
+`,
+		`
+(set-logic QF_LRA)
+(declare-fun a () Real)
+(declare-fun b () Real)
+(assert (> (/ a b) 0.5))
+(check-sat)
+`,
+	}
+	for _, src := range srcs {
+		s := mustParse(t, src)
+		guard := map[string]bool{}
+		for _, d := range (divGuardPass{}).Analyze(s, nil) {
+			guard[d.Path] = true
+		}
+		for _, d := range (absintPass{}).Analyze(s, nil) {
+			if !strings.Contains(d.Message, "divisor") {
+				continue
+			}
+			if !guard[d.Path] {
+				t.Errorf("absint division finding at %q has no divguard counterpart:\n%s", d.Path, src)
+			}
+		}
+	}
+}
+
+// TestAbsintIntTightening checks strict-bound tightening at Int sort:
+// x < 3 and x > 1 pins an integer x to [2,2], so (= x 2) is proven.
+func TestAbsintIntTightening(t *testing.T) {
+	got := runAbsint(t, `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(assert (and (< x 3) (> x 1) (distinct x 2)))
+(check-sat)
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "trivially unsatisfiable") {
+		t.Fatalf("integer tightening should refute the assert, got %v", got)
+	}
+}
+
+// TestAbsintEmptyScript: no asserts, no findings (in particular no
+// vacuous trivially-satisfiable report).
+func TestAbsintEmptyScript(t *testing.T) {
+	got := runAbsint(t, `
+(set-logic QF_LIA)
+(declare-fun x () Int)
+(check-sat)
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no findings on assert-free script, got %v", got)
+	}
+}

@@ -160,6 +160,7 @@ func init() {
 	Register(fusionPass{})
 	Register(logicPass{})
 	Register(divGuardPass{})
+	Register(absintPass{})
 	Register(trivialPass{})
 }
 

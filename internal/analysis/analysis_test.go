@@ -410,7 +410,7 @@ func TestGateReturnsTypedError(t *testing.T) {
 }
 
 func TestRegistryLookup(t *testing.T) {
-	names := []string{"wellsorted", "fusion", "logic", "divguard", "trivial"}
+	names := []string{"wellsorted", "fusion", "logic", "divguard", "absint", "trivial"}
 	if got := len(Passes()); got != len(names) {
 		t.Fatalf("registered passes = %d, want %d", got, len(names))
 	}

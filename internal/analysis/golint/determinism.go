@@ -1,0 +1,616 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/golint/load"
+)
+
+// statefulRandFuncs are the top-level math/rand functions that read the
+// package-global, impossible-to-reseed-per-campaign source.
+var statefulRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+	// math/rand/v2 additions (the global source there is auto-seeded,
+	// which is just as unreproducible).
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "UintN": true, "Uint64N": true,
+}
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the real clock. Pure value constructors and conversions
+// (time.Duration arithmetic, time.Parse, time.Unix) stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// writeMethodNames are the method names whose call constitutes an
+// order-sensitive write into a writer/builder.
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// fmt package print families.
+var fmtStdoutFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+var fmtWriterFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// lintCallRules reports the two call-site rules, global-rand and
+// wall-clock, resolved through go/types (import aliasing and dot
+// imports are irrelevant to a typed check).
+func lintCallRules(prog *load.Program, pkgs []*load.Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := load.Callee(pkg, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				sig, _ := callee.Type().(*types.Signature)
+				topLevel := sig != nil && sig.Recv() == nil
+				switch callee.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					if topLevel && statefulRandFuncs[callee.Name()] {
+						out = append(out, Finding{
+							File: file.Name, Line: prog.Position(call.Pos()).Line,
+							Rule:    RuleGlobalRand,
+							Message: "call to global " + callee.Pkg().Name() + "." + callee.Name() + "; use an explicitly seeded *rand.Rand",
+						})
+					}
+				case "time":
+					if topLevel && wallClockFuncs[callee.Name()] {
+						out = append(out, Finding{
+							File: file.Name, Line: prog.Position(call.Pos()).Line,
+							Rule:    RuleWallClock,
+							Message: "time." + callee.Name() + " reads the wall clock; deadlines must use the fuel meter (//golint:allow wall-clock — <reason> for the watchdog/bench exemptions)",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// --- map-order determinism ---
+
+// lintMapOrder reports order-sensitive accumulation inside ranges over
+// maps. The interprocedural half classifies every declared function as
+// rendering or not:
+//
+//   - a function is a stdout-renderer if it (transitively) calls
+//     fmt.Print/Printf/Println or writes to a package-level writer
+//     (os.Stdout and friends);
+//   - a function is a writer-renderer if it writes into a writer it was
+//     handed (parameter or receiver), directly or by passing one of its
+//     own parameters on to another writer-renderer. A function that
+//     only writes into its own local buffer and returns the string is
+//     pure (Sprint-like) and is not flagged.
+//
+// At a map-range site, a call leaks iteration order if it reaches a
+// stdout-renderer, or hands anything that outlives the loop iteration
+// to a writer-renderer or write method.
+func lintMapOrder(prog *load.Program, cg *load.CallGraph, pkgs []*load.Package) []Finding {
+	stdout := cg.Closure(func(fn *types.Func, decl *load.FuncDecl) bool {
+		return rendersToStdout(decl)
+	})
+	writerEmit := writerRenderers(cg, stdout)
+	sorters := sorterFuncs(cg)
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				rt := newRooter(pkg, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					rng, ok := n.(*ast.RangeStmt)
+					if !ok || !isMapType(pkg, rng.X) {
+						return true
+					}
+					out = append(out, checkMapRange(prog, cg, pkg, file, fd, rng, rt, stdout, writerEmit, sorters)...)
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// isMapType reports whether the expression's type is a map.
+func isMapType(pkg *load.Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports every order leak inside one map range.
+func checkMapRange(prog *load.Program, cg *load.CallGraph, pkg *load.Package, file load.File,
+	fn *ast.FuncDecl, rng *ast.RangeStmt, rt *rooter,
+	stdout, writerEmit, sorters map[*types.Func]bool) []Finding {
+
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			File: file.Name, Line: prog.Position(pos).Line,
+			Rule:    RuleMapRangeRender,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	// outlives reports whether the expression's root is declared outside
+	// the loop body, i.e. whether writes through it accumulate across
+	// iterations.
+	outlives := func(e ast.Expr) bool {
+		pos := rt.rootPos(e)
+		return pos != token.NoPos && (pos < rng.Pos() || pos >= rng.End())
+	}
+
+	appendTargets := map[types.Object]token.Pos{}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			callee := load.Callee(pkg, s)
+			if callee == nil {
+				// Method call on a writer through a func value etc.; fall
+				// back to the selector name for direct write detection.
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && writeMethodNames[sel.Sel.Name] && outlives(sel.X) {
+					report(s.Pos(), "%s on a writer that outlives the iteration, inside a range over a map: iteration order leaks into output", sel.Sel.Name)
+				}
+				return true
+			}
+			if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+				if fmtStdoutFuncs[callee.Name()] {
+					report(s.Pos(), "fmt.%s inside a range over a map: iteration order leaks into output", callee.Name())
+					return true
+				}
+				if fmtWriterFuncs[callee.Name()] && len(s.Args) > 0 && outlives(s.Args[0]) {
+					report(s.Pos(), "fmt.%s into a writer that outlives the iteration, inside a range over a map: iteration order leaks into output", callee.Name())
+					return true
+				}
+			}
+			sig, _ := callee.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil && writeMethodNames[callee.Name()] {
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && outlives(sel.X) {
+					report(s.Pos(), "%s on a writer that outlives the iteration, inside a range over a map: iteration order leaks into output", callee.Name())
+					return true
+				}
+			}
+			if inRenderSet(cg, callee, stdout) {
+				report(s.Pos(), "call to %s, which renders output, inside a range over a map: iteration order leaks into output", callee.Name())
+				return true
+			}
+			if inRenderSet(cg, callee, writerEmit) {
+				// Leaks only if the call is handed something that outlives
+				// the iteration to write into.
+				handed := false
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && sig != nil && sig.Recv() != nil && outlives(sel.X) {
+					handed = true
+				}
+				for _, arg := range s.Args {
+					if outlives(arg) {
+						handed = true
+					}
+				}
+				if handed {
+					report(s.Pos(), "call to %s, which writes into a writer it is handed, inside a range over a map: iteration order leaks into output", callee.Name())
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(s.Lhs) {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				target, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Uses[target]
+				if obj == nil {
+					obj = pkg.Info.Defs[target]
+				}
+				if obj == nil || !outlives(target) {
+					continue
+				}
+				if _, seen := appendTargets[obj]; !seen {
+					appendTargets[obj] = s.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Deterministic report order for the append findings.
+	objs := make([]types.Object, 0, len(appendTargets))
+	for obj := range appendTargets {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return appendTargets[objs[i]] < appendTargets[objs[j]] })
+	for _, obj := range objs {
+		if !sortsObject(cg, pkg, fn.Body, obj, sorters) {
+			report(appendTargets[obj], "append to %q inside a range over a map, and %q is never sorted in this function", obj.Name(), obj.Name())
+		}
+	}
+	return out
+}
+
+// sortsObject reports whether the function body contains a sorting call
+// whose arguments mention the object: a sort.* / slices.* call, or a
+// call to a module function classified as a sorter (one that passes a
+// parameter of its own on to a sort).
+func sortsObject(cg *load.CallGraph, pkg *load.Package, body *ast.BlockStmt, obj types.Object, sorters map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := load.Callee(pkg, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" && !inRenderSet(cg, callee, sorters) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					found = true
+					return false
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sorterFuncs computes, to a fixpoint, the set of declared functions
+// that sort one of their own parameters — directly via a sort.* /
+// slices.* call, or by passing a parameter on to another sorter. Local
+// helpers like `func sortStrings(ss []string)` are thereby recognized
+// as establishing order, the same way writer-renderers are recognized
+// as destroying it.
+func sorterFuncs(cg *load.CallGraph) map[*types.Func]bool {
+	sorters := map[*types.Func]bool{}
+	for {
+		changed := false
+		for fn, decl := range cg.Decls {
+			if sorters[fn] {
+				continue
+			}
+			if sortsOwnParam(cg, fn, decl, sorters) {
+				sorters[fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return sorters
+		}
+	}
+}
+
+// sortsOwnParam reports whether fn hands one of its own parameters (or
+// receiver, or anything rooted in them) to a sorting call.
+func sortsOwnParam(cg *load.CallGraph, fn *types.Func, decl *load.FuncDecl, sorters map[*types.Func]bool) bool {
+	pkg := decl.Pkg
+	rt := newRooter(pkg, decl.Decl)
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	fromParam := rootedInParams(rt, sig)
+	found := false
+	ast.Inspect(decl.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := load.Callee(pkg, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" && !inRenderSet(cg, callee, sorters) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fromParam(arg) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inRenderSet reports membership, expanding an interface method to its
+// implementations.
+func inRenderSet(cg *load.CallGraph, callee *types.Func, set map[*types.Func]bool) bool {
+	if set[callee] {
+		return true
+	}
+	for _, impl := range cg.Implementations(callee) {
+		if set[impl] {
+			return true
+		}
+	}
+	return false
+}
+
+// rendersToStdout reports whether the function directly prints to the
+// process-global streams: fmt.Print* calls, or writes into a
+// package-level writer such as os.Stdout.
+func rendersToStdout(decl *load.FuncDecl) bool {
+	pkg := decl.Pkg
+	rt := newRooter(pkg, decl.Decl)
+	found := false
+	ast.Inspect(decl.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := load.Callee(pkg, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if callee.Pkg().Path() == "fmt" && fmtStdoutFuncs[callee.Name()] {
+			found = true
+			return false
+		}
+		var writer ast.Expr
+		if callee.Pkg().Path() == "fmt" && fmtWriterFuncs[callee.Name()] && len(call.Args) > 0 {
+			writer = call.Args[0]
+		} else if sig, _ := callee.Type().(*types.Signature); sig != nil && sig.Recv() != nil && writeMethodNames[callee.Name()] {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				writer = sel.X
+			}
+		}
+		if writer != nil {
+			if obj := rt.rootObj(writer); obj != nil && isPackageLevel(obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// writerRenderers computes, to a fixpoint, the set of declared
+// functions that write into a writer handed to them (parameter or
+// receiver) — directly, or by passing one of their parameters to
+// another writer-renderer.
+func writerRenderers(cg *load.CallGraph, stdout map[*types.Func]bool) map[*types.Func]bool {
+	emit := map[*types.Func]bool{}
+	for {
+		changed := false
+		for fn, decl := range cg.Decls {
+			if emit[fn] {
+				continue
+			}
+			if writesToOwnParams(cg, fn, decl, emit) {
+				emit[fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return emit
+		}
+	}
+}
+
+// writesToOwnParams reports whether fn hands one of its own parameters
+// (or receiver, or anything rooted in them) to a write: a direct
+// fmt.Fprint*/Write* call, or a call to a function already classified
+// as a writer-renderer.
+func writesToOwnParams(cg *load.CallGraph, fn *types.Func, decl *load.FuncDecl, emit map[*types.Func]bool) bool {
+	pkg := decl.Pkg
+	rt := newRooter(pkg, decl.Decl)
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	fromParam := rootedInParams(rt, sig)
+	found := false
+	ast.Inspect(decl.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := load.Callee(pkg, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if callee.Pkg().Path() == "fmt" && fmtWriterFuncs[callee.Name()] && len(call.Args) > 0 && fromParam(call.Args[0]) {
+			found = true
+			return false
+		}
+		if csig, _ := callee.Type().(*types.Signature); csig != nil && csig.Recv() != nil && writeMethodNames[callee.Name()] {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fromParam(sel.X) {
+				found = true
+				return false
+			}
+		}
+		if inRenderSet(cg, callee, emit) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if csig, _ := callee.Type().(*types.Signature); csig != nil && csig.Recv() != nil && fromParam(sel.X) {
+					found = true
+					return false
+				}
+			}
+			for _, arg := range call.Args {
+				if fromParam(arg) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootedInParams returns a predicate reporting whether an expression is
+// rooted in one of the signature's parameters or its receiver.
+func rootedInParams(rt *rooter, sig *types.Signature) func(ast.Expr) bool {
+	return func(e ast.Expr) bool {
+		obj := rt.rootObj(e)
+		if obj == nil {
+			return false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if recv := sig.Recv(); recv != nil && v == recv {
+			return true
+		}
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			if v == params.At(i) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// --- expression rooting ---
+
+// rooter resolves an expression to the object (or position) its storage
+// is rooted in, following one level of simple aliasing (x := y).
+type rooter struct {
+	pkg     *load.Package
+	aliases map[types.Object]ast.Expr
+}
+
+func newRooter(pkg *load.Package, fn *ast.FuncDecl) *rooter {
+	rt := &rooter{pkg: pkg, aliases: map[types.Object]ast.Expr{}}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, have := rt.aliases[obj]; !have {
+				rt.aliases[obj] = as.Rhs[i]
+			}
+		}
+		return true
+	})
+	return rt
+}
+
+// rootObj returns the object the expression is rooted in, or nil.
+func (rt *rooter) rootObj(e ast.Expr) types.Object { return rt.root(e, 0) }
+
+func (rt *rooter) root(e ast.Expr, depth int) types.Object {
+	if depth > 8 {
+		return nil
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := rt.pkg.Info.Uses[v]
+		if obj == nil {
+			obj = rt.pkg.Info.Defs[v]
+		}
+		if obj == nil {
+			return nil
+		}
+		if alias, ok := rt.aliases[obj]; ok {
+			if aliased := rt.root(alias, depth+1); aliased != nil {
+				return aliased
+			}
+		}
+		return obj
+	case *ast.SelectorExpr:
+		if sel, ok := rt.pkg.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return rt.root(v.X, depth+1)
+		}
+		// Qualified identifier: package-level object.
+		if obj := rt.pkg.Info.Uses[v.Sel]; obj != nil {
+			return obj
+		}
+		return rt.root(v.X, depth+1)
+	case *ast.StarExpr:
+		return rt.root(v.X, depth+1)
+	case *ast.IndexExpr:
+		return rt.root(v.X, depth+1)
+	case *ast.SliceExpr:
+		return rt.root(v.X, depth+1)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return rt.root(v.X, depth+1)
+		}
+	}
+	return nil
+}
+
+// rootPos returns the declaration position of the expression's root
+// object, or the expression's own position when no object roots it
+// (composite literals, call results — treated as born where written).
+func (rt *rooter) rootPos(e ast.Expr) token.Pos {
+	if obj := rt.rootObj(e); obj != nil {
+		return obj.Pos()
+	}
+	return e.Pos()
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,98 @@
+package golint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/golint/load"
+)
+
+// Allow directives.
+//
+// A finding can be suppressed in source with
+//
+//	//golint:allow <rule> — <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// em-dash separator may be written "--" instead. The reason is
+// mandatory: a directive without one does not suppress anything and is
+// itself reported, as is a stale directive that no longer matches any
+// finding — allowlists must not outlive the code they excuse. This
+// replaces the old hard-coded wall-clock path allowlist: the exemption
+// now lives next to the call it excuses, carrying its justification.
+type directive struct {
+	File   string
+	Line   int
+	Rule   string
+	Reason string
+	used   bool
+}
+
+var directiveRe = regexp.MustCompile(`^//\s*golint:allow\s+([A-Za-z0-9_-]+)\s*(?:—|--)?\s*(.*)$`)
+
+// collectDirectives parses every //golint:allow comment in the package.
+func collectDirectives(prog *load.Program, pkg *load.Package) []*directive {
+	var out []*directive
+	for _, file := range pkg.Files {
+		for _, cg := range file.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "golint:allow") {
+					continue
+				}
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, &directive{
+					File:   file.Name,
+					Line:   prog.Position(c.Pos()).Line,
+					Rule:   m[1],
+					Reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives filters findings through the package directives and
+// appends the directive findings themselves (unknown rule, missing
+// reason, stale). A directive suppresses findings of its rule on its
+// own line or the line below.
+func applyDirectives(findings []Finding, directives []*directive) []Finding {
+	known := map[string]bool{
+		RuleGlobalRand: true, RuleWallClock: true,
+		RuleMapRangeRender: true, RuleFuel: true,
+	}
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.Rule != f.Rule || d.File != f.File || d.Reason == "" {
+				continue
+			}
+			if d.Line == f.Line || d.Line == f.Line-1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, d := range directives {
+		switch {
+		case !known[d.Rule]:
+			kept = append(kept, Finding{File: d.File, Line: d.Line, Rule: RuleAllowDirective,
+				Message: fmt.Sprintf("allow directive names unknown rule %q", d.Rule)})
+		case d.Reason == "":
+			kept = append(kept, Finding{File: d.File, Line: d.Line, Rule: RuleAllowDirective,
+				Message: "allow directive for " + d.Rule + " has no reason; write '//golint:allow " + d.Rule + " — <reason>'"})
+		case !d.used:
+			kept = append(kept, Finding{File: d.File, Line: d.Line, Rule: RuleAllowDirective,
+				Message: "stale allow directive: no " + d.Rule + " finding here to suppress"})
+		}
+	}
+	return kept
+}

@@ -1,51 +1,52 @@
-// Package golint is a determinism linter for this repository's own Go
-// source. The reproduction's core guarantee — same seed, same campaign,
-// same bug list — only holds if no code path consults ambient
-// nondeterminism. Three rules enforce that:
+// Package golint is the repository's own determinism and
+// fuel-completeness linter. The reproduction's core guarantee — same
+// seed, same campaign, same bug list, for any thread count — only holds
+// if (a) no code path consults ambient nondeterminism and (b) every
+// search loop in the solver spends from the deterministic fuel meter,
+// so timeouts are step-counted rather than clock-measured. Four rules
+// enforce that, over a typed, call-graph-aware view of the whole module
+// (package load):
 //
-//   - global-rand (everywhere): calls to the stateful top-level
-//     math/rand functions (rand.Intn, rand.Float64, ...) are rejected;
-//     all randomness must flow through an explicitly seeded *rand.Rand
-//     (rand.New / rand.NewSource remain allowed).
-//   - wall-clock (repo-wide): calls to the time functions that read or
-//     schedule against the real clock (time.Now, Since, Until, Sleep,
-//     After, AfterFunc, Tick, NewTimer, NewTicker) are rejected
-//     everywhere except an explicit allowlist: internal/watchdog (the
-//     opt-in wall-clock backstop, whose cut-offs are quarantined rather
-//     than classified) and cmd/bench (throughput measurement). The fuel
-//     meter (internal/fuel) is the deterministic deadline; nothing that
-//     classifies results may consult the clock.
-//   - map-range-render (output-rendering paths): a range over a
-//     map-typed value may not emit output directly nor append to a
-//     slice that is never sorted in the same function, since Go map
-//     iteration order would leak into rendered results.
+//   - global-rand: calls to the stateful top-level math/rand functions
+//     (rand.Intn, rand.Float64, ...) are rejected everywhere; all
+//     randomness must flow through an explicitly seeded *rand.Rand.
+//   - wall-clock: calls to the time functions that read or schedule
+//     against the real clock (time.Now, Since, Until, Sleep, After,
+//     AfterFunc, Tick, NewTimer, NewTicker) are rejected everywhere.
+//     The two legitimate consumers — the opt-in watchdog backstop and
+//     the benchmark harness — carry in-source //golint:allow
+//     directives; there is no path allowlist.
+//   - map-range-render: inside a range over a map, nothing
+//     order-sensitive may accumulate across iterations: no direct
+//     output calls, no writes into a writer that outlives the
+//     iteration, no append into a slice that is never sorted, and no
+//     call to a function that (transitively, through the call graph)
+//     renders output. Map iteration order must never reach rendered
+//     results, trace records, or metrics.
+//   - fuel-charge: in the solver packages (internal/solver/...,
+//     internal/regex, internal/eval), every loop whose bound is not
+//     syntactically evident must reach a fuel.Meter.Spend call,
+//     directly or through the functions it calls. A loop that is
+//     legitimately bounded for a non-obvious reason carries an explicit
+//     //golint:allow fuel-charge — <reason> directive.
 //
-// The linter is purely syntactic (go/parser + go/ast, no go/types), so
-// map detection is heuristic: composite literals, make(map[...]),
-// identifiers assigned from those, map-typed parameters and package
-// variables, package-local functions returning maps, and struct fields
-// declared with map types. That is deliberate — it needs no build
-// context, runs in a plain test, and the repo's rendering code is
-// simple enough for the heuristics to be exact in practice.
+// Findings are suppressed only by in-source directives (see
+// directive.go); a directive without a reason, with an unknown rule, or
+// matching no finding is itself a finding.
 package golint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
+	"sort"
+
+	"repro/internal/analysis/golint/load"
 )
 
-// Finding is one determinism violation.
+// Finding is one linter violation.
 type Finding struct {
-	File    string // path as given to the linter
+	File    string // slash path relative to the module root
 	Line    int
-	Rule    string // "global-rand", "wall-clock", or "map-range-render"
+	Rule    string
 	Message string
 }
 
@@ -58,428 +59,49 @@ const (
 	RuleGlobalRand     = "global-rand"
 	RuleWallClock      = "wall-clock"
 	RuleMapRangeRender = "map-range-render"
+	RuleFuel           = "fuel-charge"
+	RuleAllowDirective = "allow-directive"
 )
 
-// statefulRandFuncs are the top-level math/rand functions that read the
-// package-global, impossible-to-reseed-per-campaign source.
-var statefulRandFuncs = map[string]bool{
-	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
-	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
-	"Float32": true, "Float64": true, "ExpFloat64": true,
-	"NormFloat64": true, "Perm": true, "Shuffle": true,
-	"Seed": true, "Read": true,
-}
-
-// wallClockAllowlist are the only path prefixes permitted to call the
-// wall-clock functions: the watchdog backstop (quarantine-only, never
-// classification) and the benchmark harness (throughput measurement is
-// inherently about real time). Everything else must use the fuel meter.
-var wallClockAllowlist = []string{
-	"internal/watchdog/", "cmd/bench/",
-}
-
-// wallClockFuncs are the package time functions that read or schedule
-// against the real clock. Pure value constructors and conversions
-// (time.Duration arithmetic, time.Parse, time.Unix) stay allowed.
-var wallClockFuncs = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "AfterFunc": true, "Tick": true,
-	"NewTimer": true, "NewTicker": true,
-}
-
-// renderDirs are the path prefixes holding output-rendering or
-// report-assembly code, where map iteration order must never reach the
-// rendered text.
-var renderDirs = []string{
-	"internal/harness/", "internal/coverage/", "internal/reduce/", "cmd/",
-}
-
-// outputFuncs are method/function selectors whose call inside a map
-// range constitutes direct output emission.
-var outputFuncs = map[string]bool{
-	"Print": true, "Printf": true, "Println": true,
-	"Fprint": true, "Fprintf": true, "Fprintln": true,
-	"WriteString": true, "WriteByte": true, "WriteRune": true, "Write": true,
-}
-
-// LintDir lints every non-test .go file under root, skipping .git and
-// testdata directories. File paths in findings are relative to root.
+// LintDir loads, type-checks, and lints every non-test package under
+// root (which must contain go.mod).
 func LintDir(root string) ([]Finding, error) {
-	var findings []Finding
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == ".git" || name == "testdata" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		fs, err := LintSource(filepath.ToSlash(rel), src)
-		if err != nil {
-			return err
-		}
-		findings = append(findings, fs...)
-		return nil
-	})
-	return findings, err
-}
-
-// LintSource lints one file. The filename selects which rules apply
-// (paths are interpreted relative to the repository root, e.g.
-// "internal/core/core.go") and appears in findings verbatim.
-func LintSource(filename string, src []byte) ([]Finding, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, filename, src, 0)
+	prog, err := load.Load(root)
 	if err != nil {
 		return nil, err
 	}
-	l := &linter{
-		fset:      fset,
-		filename:  filepath.ToSlash(filename),
-		randName:  importName(file, "math/rand"),
-		timeName:  importName(file, "time"),
-		wallClock: !underAny(filepath.ToSlash(filename), wallClockAllowlist),
-		render:    underAny(filepath.ToSlash(filename), renderDirs),
-	}
-	l.collectPackageMaps(file)
-	for _, decl := range file.Decls {
-		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-			l.lintFunc(fn)
-		}
-	}
-	l.lintCalls(file)
-	return l.findings, nil
+	return LintProgram(prog, prog.Packages()), nil
 }
 
-func underAny(path string, prefixes []string) bool {
-	for _, p := range prefixes {
-		if strings.HasPrefix(path, p) {
-			return true
-		}
+// LintProgram lints the given packages of an already-loaded program.
+// The call graph spans the whole program, so interprocedural facts
+// (fuel charges, rendering) are resolved across package boundaries even
+// when only a subset of packages is being reported on.
+func LintProgram(prog *load.Program, pkgs []*load.Package) []Finding {
+	cg := load.BuildCallGraph(prog)
+	var findings []Finding
+	findings = append(findings, lintCallRules(prog, pkgs)...)
+	findings = append(findings, lintMapOrder(prog, cg, pkgs)...)
+	findings = append(findings, lintFuel(prog, cg, pkgs)...)
+
+	var directives []*directive
+	for _, pkg := range pkgs {
+		directives = append(directives, collectDirectives(prog, pkg)...)
 	}
-	return false
-}
+	findings = applyDirectives(findings, directives)
 
-// importName resolves the local identifier an import path is bound to,
-// or "" if the file does not import it.
-func importName(file *ast.File, path string) string {
-	for _, imp := range file.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != path {
-			continue
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if imp.Name != nil {
-			if imp.Name.Name == "_" || imp.Name.Name == "." {
-				return ""
-			}
-			return imp.Name.Name
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		return path[strings.LastIndex(path, "/")+1:]
-	}
-	return ""
-}
-
-type linter struct {
-	fset      *token.FileSet
-	filename  string
-	randName  string
-	timeName  string
-	wallClock bool
-	render    bool
-
-	pkgMapVars   map[string]bool // package-level vars with map type
-	pkgMapFuncs  map[string]bool // package funcs whose first result is a map
-	mapFieldSet  map[string]bool // struct field names declared with map types
-	nestedMapSet map[string]bool // names whose map *value* type is again a map
-
-	findings []Finding
-}
-
-func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
-	l.findings = append(l.findings, Finding{
-		File:    l.filename,
-		Line:    l.fset.Position(pos).Line,
-		Rule:    rule,
-		Message: fmt.Sprintf(format, args...),
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-}
-
-// lintCalls applies the call-site rules (global-rand, wall-clock) to
-// the whole file.
-func (l *linter) lintCalls(file *ast.File) {
-	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if l.randName != "" && pkg.Name == l.randName && statefulRandFuncs[sel.Sel.Name] {
-			l.report(call.Pos(), RuleGlobalRand,
-				"call to global %s.%s; use an explicitly seeded *rand.Rand", pkg.Name, sel.Sel.Name)
-		}
-		if l.wallClock && l.timeName != "" && pkg.Name == l.timeName &&
-			wallClockFuncs[sel.Sel.Name] {
-			l.report(call.Pos(), RuleWallClock,
-				"%s.%s outside the watchdog/bench allowlist; deadlines must use the fuel meter", pkg.Name, sel.Sel.Name)
-		}
-		return true
-	})
-}
-
-// collectPackageMaps gathers the file-level map heuristics: package
-// vars, struct fields, and functions returning maps.
-func (l *linter) collectPackageMaps(file *ast.File) {
-	l.pkgMapVars = map[string]bool{}
-	l.pkgMapFuncs = map[string]bool{}
-	l.mapFieldSet = map[string]bool{}
-	l.nestedMapSet = map[string]bool{}
-	for _, decl := range file.Decls {
-		switch d := decl.(type) {
-		case *ast.GenDecl:
-			for _, spec := range d.Specs {
-				switch s := spec.(type) {
-				case *ast.ValueSpec:
-					for i, name := range s.Names {
-						if mt := mapTypeOfSpec(s, i); mt != nil {
-							l.pkgMapVars[name.Name] = true
-							if isMapType(mt.Value) {
-								l.nestedMapSet[name.Name] = true
-							}
-						}
-					}
-				case *ast.TypeSpec:
-					if st, ok := s.Type.(*ast.StructType); ok {
-						for _, f := range st.Fields.List {
-							if mt, ok := f.Type.(*ast.MapType); ok {
-								for _, name := range f.Names {
-									l.mapFieldSet[name.Name] = true
-									if isMapType(mt.Value) {
-										l.nestedMapSet[name.Name] = true
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		case *ast.FuncDecl:
-			if d.Recv == nil && d.Type.Results != nil && len(d.Type.Results.List) > 0 {
-				if _, ok := d.Type.Results.List[0].Type.(*ast.MapType); ok {
-					l.pkgMapFuncs[d.Name.Name] = true
-				}
-			}
-		}
-	}
-}
-
-func isMapType(e ast.Expr) bool {
-	_, ok := e.(*ast.MapType)
-	return ok
-}
-
-// mapTypeOfSpec returns the map type of the i-th name in a ValueSpec,
-// from either the declared type or the initializer.
-func mapTypeOfSpec(s *ast.ValueSpec, i int) *ast.MapType {
-	if mt, ok := s.Type.(*ast.MapType); ok {
-		return mt
-	}
-	if i < len(s.Values) {
-		return mapTypeOfExpr(s.Values[i])
-	}
-	return nil
-}
-
-// mapTypeOfExpr syntactically extracts a map type from an initializer
-// expression, or nil.
-func mapTypeOfExpr(e ast.Expr) *ast.MapType {
-	switch v := e.(type) {
-	case *ast.CompositeLit:
-		if mt, ok := v.Type.(*ast.MapType); ok {
-			return mt
-		}
-	case *ast.CallExpr:
-		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
-			if mt, ok := v.Args[0].(*ast.MapType); ok {
-				return mt
-			}
-		}
-	}
-	return nil
-}
-
-// lintFunc applies map-range-render inside one function declaration.
-func (l *linter) lintFunc(fn *ast.FuncDecl) {
-	if !l.render {
-		return
-	}
-	localMaps := map[string]bool{}
-	if fn.Type.Params != nil {
-		for _, f := range fn.Type.Params.List {
-			if isMapType(f.Type) {
-				for _, name := range f.Names {
-					localMaps[name.Name] = true
-				}
-			}
-		}
-	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range s.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || i >= len(s.Rhs) {
-					continue
-				}
-				if l.isMapExpr(s.Rhs[i], localMaps) {
-					localMaps[id.Name] = true
-				}
-			}
-		case *ast.DeclStmt:
-			if gd, ok := s.Decl.(*ast.GenDecl); ok {
-				for _, spec := range gd.Specs {
-					if vs, ok := spec.(*ast.ValueSpec); ok {
-						for i, name := range vs.Names {
-							if mapTypeOfSpec(vs, i) != nil {
-								localMaps[name.Name] = true
-							}
-						}
-					}
-				}
-			}
-		case *ast.RangeStmt:
-			if l.isMapExpr(s.X, localMaps) {
-				l.checkMapRange(fn, s)
-			}
-		}
-		return true
-	})
-}
-
-// isMapExpr reports whether an expression is, by the syntactic
-// heuristics, map-typed.
-func (l *linter) isMapExpr(e ast.Expr, localMaps map[string]bool) bool {
-	switch v := e.(type) {
-	case *ast.Ident:
-		return localMaps[v.Name] || l.pkgMapVars[v.Name]
-	case *ast.CompositeLit:
-		return isMapType(v.Type)
-	case *ast.CallExpr:
-		if mapTypeOfExpr(v) != nil {
-			return true
-		}
-		if id, ok := v.Fun.(*ast.Ident); ok {
-			return l.pkgMapFuncs[id.Name]
-		}
-	case *ast.SelectorExpr:
-		return l.mapFieldSet[v.Sel.Name]
-	case *ast.IndexExpr:
-		// Indexing a nested map (map[K]map[K2]V) yields a map.
-		switch base := v.X.(type) {
-		case *ast.Ident:
-			return l.nestedMapSet[base.Name]
-		case *ast.SelectorExpr:
-			return l.nestedMapSet[base.Sel.Name]
-		}
-	}
-	return false
-}
-
-// checkMapRange verifies one map-range body: no direct output, and any
-// appended-to slice must be sorted somewhere in the same function.
-func (l *linter) checkMapRange(fn *ast.FuncDecl, rng *ast.RangeStmt) {
-	appended := map[string]token.Pos{}
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && outputFuncs[sel.Sel.Name] {
-				l.report(s.Pos(), RuleMapRangeRender,
-					"%s inside a range over a map: iteration order leaks into output", sel.Sel.Name)
-			}
-		case *ast.AssignStmt:
-			for i, rhs := range s.Rhs {
-				call, ok := rhs.(*ast.CallExpr)
-				if !ok || i >= len(s.Lhs) {
-					continue
-				}
-				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
-					continue
-				}
-				if target, ok := s.Lhs[i].(*ast.Ident); ok {
-					if _, seen := appended[target.Name]; !seen {
-						appended[target.Name] = s.Pos()
-					}
-				}
-			}
-		}
-		return true
-	})
-	for name, pos := range appended {
-		if !sortsName(fn.Body, name) {
-			l.report(pos, RuleMapRangeRender,
-				"append to %q inside a range over a map, and %q is never sorted in this function", name, name)
-		}
-	}
-}
-
-// sortsName reports whether the function body contains a sort.* or
-// slices.Sort* call whose arguments mention the identifier.
-func sortsName(body *ast.BlockStmt, name string) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
-			return true
-		}
-		for _, arg := range call.Args {
-			if mentionsIdent(arg, name) {
-				found = true
-				return false
-			}
-		}
-		return true
-	})
-	return found
-}
-
-func mentionsIdent(e ast.Expr, name string) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && id.Name == name {
-			found = true
-			return false
-		}
-		return !found
-	})
-	return found
+	return findings
 }

@@ -1,0 +1,246 @@
+package load
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is a static call graph over a Program. Nodes are the
+// *types.Func objects of functions and methods declared in the loaded
+// packages; edges are resolved call sites. Dynamic dispatch through an
+// interface is handled by class-hierarchy analysis: a call to an
+// interface method gets an edge to every declared concrete method that
+// implements it, which over-approximates the possible callees — exactly
+// the right direction for "does this loop reach a fuel charge" and
+// "can this call render output" queries.
+//
+// Calls through plain function values are not resolved (the repository
+// style passes funcs as small strategy callbacks, none of which spend
+// fuel or render); a pass that needs to be conservative about them can
+// inspect call sites itself.
+type CallGraph struct {
+	prog *Program
+
+	// Decls maps every declared function/method to its syntax and the
+	// package it lives in.
+	Decls map[*types.Func]*FuncDecl
+
+	calls map[*types.Func][]*types.Func // resolved static edges (deduplicated)
+	impls map[*types.Func][]*types.Func // interface method -> declared implementations
+}
+
+// FuncDecl pairs a function's syntax with its enclosing package.
+type FuncDecl struct {
+	Pkg  *Package
+	File File
+	Decl *ast.FuncDecl
+}
+
+// BuildCallGraph constructs the call graph over every package currently
+// loaded in the program (overlays included).
+func BuildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		prog:  prog,
+		Decls: map[*types.Func]*FuncDecl{},
+		calls: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range prog.Packages() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Decls[obj] = &FuncDecl{Pkg: pkg, File: file, Decl: fd}
+			}
+		}
+	}
+	impls := g.buildImplIndex()
+	g.impls = impls
+	// Synthetic edges from each interface method to its implementations
+	// keep Closure queries correct when the queried callee is the
+	// interface method itself.
+	for m, targets := range impls {
+		g.calls[m] = append(g.calls[m], targets...)
+	}
+	for obj, fd := range g.Decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(fd.Pkg, call)
+			if callee == nil {
+				return true
+			}
+			for _, target := range g.expand(callee, impls) {
+				if !seen[target] {
+					seen[target] = true
+					g.calls[obj] = append(g.calls[obj], target)
+				}
+			}
+			return true
+		})
+		sort.Slice(g.calls[obj], func(i, j int) bool {
+			return g.calls[obj][i].FullName() < g.calls[obj][j].FullName()
+		})
+	}
+	return g
+}
+
+// Callee resolves the static callee of a call expression: a declared
+// function, a method (concrete or interface), or nil for calls through
+// function values, conversions, and builtins.
+func Callee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr:
+		// Generic instantiation: f[T](...).
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if f, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// expand maps an interface method to its concrete implementations (plus
+// the interface method itself, so callers can still match on it); a
+// concrete callee expands to itself.
+func (g *CallGraph) expand(callee *types.Func, impls map[*types.Func][]*types.Func) []*types.Func {
+	if targets, ok := impls[callee]; ok {
+		out := make([]*types.Func, 0, len(targets)+1)
+		out = append(out, targets...)
+		return append(out, callee)
+	}
+	return []*types.Func{callee}
+}
+
+// buildImplIndex maps every interface method reachable from the loaded
+// packages' declared types to the concrete declared methods that
+// implement it.
+func (g *CallGraph) buildImplIndex() map[*types.Func][]*types.Func {
+	// Collect the declared (non-interface) named types.
+	var concrete []types.Type
+	var ifaces []*types.Named
+	for _, pkg := range g.prog.Packages() {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				ifaces = append(ifaces, named)
+			} else {
+				concrete = append(concrete, named, types.NewPointer(named))
+			}
+		}
+	}
+	impls := map[*types.Func][]*types.Func{}
+	for _, named := range ifaces {
+		iface, ok := named.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			for _, t := range concrete {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+				if f, ok := obj.(*types.Func); ok {
+					if _, declared := g.Decls[f]; declared {
+						impls[m] = appendUnique(impls[m], f)
+					}
+				}
+			}
+		}
+	}
+	for m := range impls {
+		sort.Slice(impls[m], func(i, j int) bool {
+			return impls[m][i].FullName() < impls[m][j].FullName()
+		})
+	}
+	return impls
+}
+
+func appendUnique(fs []*types.Func, f *types.Func) []*types.Func {
+	for _, have := range fs {
+		if have == f {
+			return fs
+		}
+	}
+	return append(fs, f)
+}
+
+// Closure returns the set of declared functions from which a function
+// satisfying base is reachable through call edges — i.e. every function
+// that either satisfies base itself or (transitively) calls one that
+// does. base is consulted once per declared function.
+func (g *CallGraph) Closure(base func(fn *types.Func, decl *FuncDecl) bool) map[*types.Func]bool {
+	in := map[*types.Func]bool{}
+	for fn, decl := range g.Decls {
+		if base(fn, decl) {
+			in[fn] = true
+		}
+	}
+	// Reverse edges, then flood backwards from the base set.
+	rev := map[*types.Func][]*types.Func{}
+	for caller, callees := range g.calls {
+		for _, callee := range callees {
+			rev[callee] = append(rev[callee], caller)
+		}
+	}
+	queue := make([]*types.Func, 0, len(in))
+	for fn := range in {
+		queue = append(queue, fn)
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].FullName() < queue[j].FullName() })
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range rev[fn] {
+			if !in[caller] {
+				in[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return in
+}
+
+// Calls returns fn's resolved callees (deduplicated, sorted by full
+// name; interface calls appear as both the interface method and its
+// implementations).
+func (g *CallGraph) Calls(fn *types.Func) []*types.Func { return g.calls[fn] }
+
+// Implementations returns the declared concrete methods implementing an
+// interface method (empty for concrete callees).
+func (g *CallGraph) Implementations(m *types.Func) []*types.Func { return g.impls[m] }

@@ -1,0 +1,281 @@
+// Package load is the typed front end of the repository's Go linter:
+// it parses every package under a module root, type-checks them with
+// go/types (standard-library dependencies are type-checked from source,
+// so the loader needs no build cache and no external tooling), and
+// exposes the result as a Program the analysis passes consume.
+//
+// The loader exists because the determinism and fuel rules in
+// internal/analysis/golint are interprocedural: whether a loop charges
+// fuel, or whether map iteration order reaches rendered output, depends
+// on what the functions *called* from that code do, possibly across
+// package boundaries. A purely syntactic linter cannot answer either
+// question; a typed Program plus the CallGraph in this package can.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is one parsed source file of a loaded package.
+type File struct {
+	// Name is the file's slash-separated path relative to the module
+	// root (for overlay packages, the synthetic name given by the
+	// caller). It is the path findings report.
+	Name string
+	AST  *ast.File
+}
+
+// Package is one type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/solver").
+	Path  string
+	Files []File
+	Types *types.Package
+	Info  *types.Info
+	// Overlay marks packages added through AddOverlay (test snippets)
+	// rather than discovered under the module root.
+	Overlay bool
+}
+
+// Program is a set of type-checked packages sharing one FileSet.
+type Program struct {
+	Fset   *token.FileSet
+	Module string // module path from go.mod
+
+	pkgs  map[string]*Package // by import path
+	order []string            // topological (dependencies first)
+	std   types.Importer      // source importer for non-module imports
+}
+
+// Packages returns the loaded packages in deterministic (topological,
+// then insertion) order.
+func (p *Program) Packages() []*Package {
+	out := make([]*Package, 0, len(p.order))
+	for _, path := range p.order {
+		out = append(out, p.pkgs[path])
+	}
+	return out
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (p *Program) Lookup(path string) *Package { return p.pkgs[path] }
+
+// Position resolves a token position against the program's FileSet.
+func (p *Program) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Load parses and type-checks every non-test package under root
+// (skipping .git and testdata directories). root must contain a go.mod
+// naming the module.
+func Load(root string) (*Program, error) {
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	module := modulePath(string(modData))
+	if module == "" {
+		return nil, fmt.Errorf("load: no module line in %s/go.mod", root)
+	}
+
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset:   fset,
+		Module: module,
+		pkgs:   map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+
+	// Discover directories holding non-test .go files.
+	byDir := map[string][]string{} // rel dir -> sorted file names
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				if p != root {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		dir := path.Dir(rel)
+		byDir[dir] = append(byDir[dir], rel)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+
+	// Parse every file, recording per-package import dependencies on
+	// other module packages.
+	type rawPkg struct {
+		importPath string
+		files      []File
+		deps       []string
+	}
+	raw := map[string]*rawPkg{}
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		importPath := module
+		if dir != "." {
+			importPath = module + "/" + dir
+		}
+		rp := &rawPkg{importPath: importPath}
+		files := byDir[dir]
+		sort.Strings(files)
+		for _, rel := range files {
+			f, err := parser.ParseFile(fset, filepath.Join(root, filepath.FromSlash(rel)), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			rp.files = append(rp.files, File{Name: rel, AST: f})
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err == nil && (ip == module || strings.HasPrefix(ip, module+"/")) {
+					rp.deps = append(rp.deps, ip)
+				}
+			}
+		}
+		raw[importPath] = rp
+	}
+
+	// Type-check in dependency order.
+	var visit func(string, map[string]int) error
+	visit = func(ip string, state map[string]int) error {
+		switch state[ip] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("load: import cycle through %s", ip)
+		}
+		state[ip] = 1
+		rp := raw[ip]
+		for _, dep := range rp.deps {
+			if _, ok := raw[dep]; !ok {
+				return fmt.Errorf("load: %s imports %s, which has no source under the root", ip, dep)
+			}
+			if err := visit(dep, state); err != nil {
+				return err
+			}
+		}
+		pkg, err := prog.check(ip, rp.files)
+		if err != nil {
+			return err
+		}
+		prog.pkgs[ip] = pkg
+		prog.order = append(prog.order, ip)
+		state[ip] = 2
+		return nil
+	}
+	state := map[string]int{}
+	paths := make([]string, 0, len(raw))
+	for ip := range raw {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if err := visit(ip, state); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// AddOverlay type-checks a synthetic package (test snippets) against
+// the already-loaded program. Files maps a report name to source text.
+// Re-adding an import path replaces the previous overlay.
+func (p *Program) AddOverlay(importPath string, files map[string]string) (*Package, error) {
+	var parsed []File
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(p.Fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("overlay: %w", err)
+		}
+		parsed = append(parsed, File{Name: name, AST: f})
+	}
+	pkg, err := p.check(importPath, parsed)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Overlay = true
+	if _, ok := p.pkgs[importPath]; !ok {
+		p.order = append(p.order, importPath)
+	}
+	p.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// check type-checks one package's files.
+func (p *Program) check(importPath string, files []File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: &chainImporter{prog: p}}
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.AST
+	}
+	tpkg, err := conf.Check(importPath, p.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// chainImporter resolves module-internal imports from the program and
+// everything else (standard library) through the source importer.
+type chainImporter struct{ prog *Program }
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := c.prog.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	return c.prog.std.Import(path)
+}
+
+// modulePath extracts the module path from go.mod text.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,207 @@
+package load
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestModule lays out a small on-disk module:
+//
+//	testmod
+//	├── go.mod
+//	├── a            (calls into b)
+//	├── b            (leaf + interface with one implementation)
+//	└── internal/fuel (Meter.Spend stand-in, for fuel-scope tests)
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module testmod\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "testmod/b"
+
+func Top() int { return Mid() }
+
+func Mid() int { return b.Leaf() }
+
+func UseIface(s b.Stepper) { s.Step() }
+`,
+		"b/b.go": `package b
+
+func Leaf() int { return 1 }
+
+type Stepper interface{ Step() }
+
+type Walker struct{}
+
+func (Walker) Step() {}
+`,
+		"internal/fuel/fuel.go": `package fuel
+
+type Meter struct{ n int }
+
+func (m *Meter) Spend(n int) bool { m.n += n; return true }
+
+func (m *Meter) Drain() { m.n = 1 << 30 }
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func lookupFunc(t *testing.T, prog *Program, pkgPath, name string) *types.Func {
+	t.Helper()
+	pkg := prog.Lookup(pkgPath)
+	if pkg == nil {
+		t.Fatalf("package %s not loaded", pkgPath)
+	}
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s.%s is %T, want *types.Func", pkgPath, name, obj)
+	}
+	return fn
+}
+
+func TestLoadModule(t *testing.T) {
+	prog, err := Load(writeTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Module != "testmod" {
+		t.Fatalf("Module = %q, want testmod", prog.Module)
+	}
+	var paths []string
+	for _, pkg := range prog.Packages() {
+		paths = append(paths, pkg.Path)
+	}
+	want := map[string]bool{"testmod/a": true, "testmod/b": true, "testmod/internal/fuel": true}
+	for _, p := range paths {
+		delete(want, p)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing packages %v in %v", want, paths)
+	}
+	// Dependencies come before dependents.
+	pos := map[string]int{}
+	for i, p := range paths {
+		pos[p] = i
+	}
+	if pos["testmod/b"] > pos["testmod/a"] {
+		t.Fatalf("topological order violated: %v", paths)
+	}
+}
+
+func TestLoadRejectsMissingModule(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("Load of a directory without go.mod should fail")
+	}
+}
+
+func TestCallGraphTransitiveEdges(t *testing.T) {
+	prog, err := Load(writeTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := BuildCallGraph(prog)
+	top := lookupFunc(t, prog, "testmod/a", "Top")
+	mid := lookupFunc(t, prog, "testmod/a", "Mid")
+	leaf := lookupFunc(t, prog, "testmod/b", "Leaf")
+
+	calls := map[*types.Func]bool{}
+	for _, c := range cg.Calls(top) {
+		calls[c] = true
+	}
+	if !calls[mid] {
+		t.Fatal("Top should call Mid")
+	}
+	closure := cg.Closure(func(fn *types.Func, decl *FuncDecl) bool { return fn == leaf })
+	for _, fn := range []*types.Func{leaf, mid, top} {
+		if !closure[fn] {
+			t.Fatalf("closure of Leaf should contain %s", fn.FullName())
+		}
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	prog, err := Load(writeTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := BuildCallGraph(prog)
+	use := lookupFunc(t, prog, "testmod/a", "UseIface")
+
+	// The call through the Stepper interface must expand to Walker.Step.
+	found := false
+	for _, c := range cg.Calls(use) {
+		if c.Name() == "Step" && c.Type().(*types.Signature).Recv() != nil &&
+			!types.IsInterface(c.Type().(*types.Signature).Recv().Type()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("UseIface should have a CHA edge to the concrete Walker.Step")
+	}
+	// And the backward closure from the concrete method reaches the caller.
+	closure := cg.Closure(func(fn *types.Func, decl *FuncDecl) bool {
+		return fn.Name() == "Step" && decl != nil
+	})
+	if !closure[use] {
+		t.Fatal("closure of Step implementations should contain UseIface")
+	}
+}
+
+func TestAddOverlayReplaces(t *testing.T) {
+	prog, err := Load(writeTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ip = "testmod/overlay"
+	if _, err := prog.AddOverlay(ip, map[string]string{"overlay.go": "package overlay\n\nfunc V() int { return 1 }\n"}); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.AddOverlay(ip, map[string]string{"overlay.go": "package overlay\n\nfunc W() int { return 2 }\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pkg.Overlay {
+		t.Fatal("overlay package not marked Overlay")
+	}
+	if prog.Lookup(ip) != pkg {
+		t.Fatal("second AddOverlay did not replace the first")
+	}
+	if pkg.Types.Scope().Lookup("W") == nil || pkg.Types.Scope().Lookup("V") != nil {
+		t.Fatal("replaced overlay should expose W and not V")
+	}
+	// The package list must not contain duplicates.
+	count := 0
+	for _, p := range prog.Packages() {
+		if p.Path == ip {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("overlay path appears %d times in Packages", count)
+	}
+}
+
+func TestOverlayTypeError(t *testing.T) {
+	prog, err := Load(writeTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.AddOverlay("testmod/bad", map[string]string{"bad.go": "package bad\n\nfunc f() { undefined() }\n"}); err == nil {
+		t.Fatal("type error in overlay should be reported")
+	}
+}

@@ -1,6 +1,8 @@
 package regex
 
 import (
+	"slices"
+
 	"repro/internal/fuel"
 	"repro/internal/telemetry"
 )
@@ -183,14 +185,7 @@ func RelevantChars(r Regex) []byte {
 			break
 		}
 	}
-	sort := func(bs []byte) {
-		for i := 1; i < len(bs); i++ {
-			for j := i; j > 0 && bs[j-1] > bs[j]; j-- {
-				bs[j-1], bs[j] = bs[j], bs[j-1]
-			}
-		}
-	}
-	sort(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -312,7 +307,15 @@ func EnumerateFuel(r Regex, maxLen, limit int, m *fuel.Meter, tr *telemetry.Trac
 
 // MinLen returns the length of the shortest member of L(r), and false
 // if the language is empty.
-func MinLen(r Regex) (int, bool) {
+func MinLen(r Regex) (int, bool) { return MinLenFuel(r, nil, nil) }
+
+// MinLenFuel is MinLen under a fuel meter: one unit per explored
+// derivative state, recorded into tr (nil records nothing). Exhaustion
+// gives up conservatively, reporting the trivial lower bound 0 — the
+// solver then simply learns nothing from this regex. The string solver
+// calls this on the solve path, so the BFS must charge: complement-heavy
+// regexes can have derivative graphs far larger than the state cap.
+func MinLenFuel(r Regex, m *fuel.Meter, tr *telemetry.Tracker) (int, bool) {
 	alphabet := RelevantChars(r)
 	type state struct {
 		r Regex
@@ -321,6 +324,10 @@ func MinLen(r Regex) (int, bool) {
 	queue := []state{{r: r}}
 	seen := map[string]bool{r.key(): true}
 	for len(queue) > 0 {
+		if !m.Spend(1) {
+			return 0, true // fuel exhausted: conservative bound
+		}
+		tr.Inc(cDerivatives)
 		cur := queue[0]
 		queue = queue[1:]
 		if Nullable(cur.r) {

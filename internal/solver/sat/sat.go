@@ -263,6 +263,7 @@ func (s *Solver) backtrackTo(lvl int) {
 // propagate performs unit propagation; returns a conflicting clause or
 // nil.
 func (s *Solver) propagate() *clause {
+	//golint:allow fuel-charge — the trail holds each variable at most once, so the queue drains in ≤ nVars steps; Solve charges per decision
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -325,6 +326,7 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 	idx := len(s.trail) - 1
 	c := conflict
 
+	//golint:allow fuel-charge — conflict analysis consumes one marked trail literal per iteration, bounded by the finite trail
 	for {
 		start := 0
 		if p != 0 {
@@ -344,6 +346,7 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 			}
 		}
 		// Find the next marked literal on the trail.
+		//golint:allow fuel-charge — scans backward over the finite trail; idx strictly decreases
 		for !seen[s.trail[idx].Var()] {
 			idx--
 		}
@@ -390,6 +393,7 @@ func (s *Solver) decayActivities() { s.varInc /= 0.95 }
 // pickBranch returns the next decision literal, or 0 if all variables
 // are assigned.
 func (s *Solver) pickBranch() Lit {
+	//golint:allow fuel-charge — each iteration pops the finite order heap; returns when the heap empties
 	for {
 		v, ok := s.order.pop()
 		if !ok {
@@ -515,6 +519,7 @@ func (h *varHeap) update(v int) {
 }
 
 func (h *varHeap) up(i int) {
+	//golint:allow fuel-charge — heap sift-up: the index at least halves every iteration
 	for i > 0 {
 		p := (i - 1) / 2
 		if !h.less(h.heap[i], h.heap[p]) {
@@ -526,6 +531,7 @@ func (h *varHeap) up(i int) {
 }
 
 func (h *varHeap) down(i int) {
+	//golint:allow fuel-charge — heap sift-down: the index at least doubles every iteration, bounded by the heap size
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i

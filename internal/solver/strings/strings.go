@@ -385,7 +385,7 @@ func (c *checker) lengthAbstraction() (Status, map[string]int) {
 			if err != nil {
 				continue
 			}
-			if min, ok := regex.MinLen(r); ok && min > 0 {
+			if min, ok := regex.MinLenFuel(r, c.fuel, c.telem); ok && min > 0 {
 				e := arith.NewLinExpr()
 				e.AddVar(lenVar(v.Name), big.NewRat(1, 1))
 				e.Const.SetInt64(int64(-min))
@@ -478,6 +478,7 @@ func (c *checker) intLit(app *ast.App, polarity bool, abs *arith.Abstractor, add
 
 func stripNot(t ast.Term) (ast.Term, bool) {
 	polarity := true
+	//golint:allow fuel-charge — strips a finite chain of not-wrappers; the term strictly shrinks every iteration
 	for {
 		app, ok := t.(*ast.App)
 		if !ok || app.Op != ast.OpNot {
