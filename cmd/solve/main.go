@@ -6,9 +6,18 @@
 // Usage:
 //
 //	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] [-validate] [-stats] file.smt2
+//	solve -incremental [flags] a.smt2 b.smt2 ...
 //
 // A solve that exhausts its deterministic step budget prints "timeout",
 // the analogue of a real solver hitting its time limit.
+//
+// With -incremental, each script is pushed as an assertion frame on
+// top of the previous ones and checked — script k's verdict is for the
+// conjunction of scripts 1..k. One solver instance serves the whole
+// sequence, so later checks reuse learned clauses, the warm simplex
+// tableau, and the rewrite/eval caches; a final "; reuse:" line
+// reports the session's structural reuse and -stats adds the push/pop
+// and warm-hit counters.
 package main
 
 import (
@@ -17,7 +26,9 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/ast"
 	"repro/internal/bugdb"
+	"repro/internal/eval"
 	"repro/internal/harness"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
@@ -31,21 +42,11 @@ func main() {
 	validate := flag.Bool("validate", false, "on sat, evaluate the model against the input asserts; exit 3 if it fails")
 	stats := flag.Bool("stats", false, "print the solve's step-counter summary (decisions, pivots, DFS nodes, …) to stderr")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget (0 = default, negative = unlimited)")
+	incremental := flag.Bool("incremental", false, "treat the arguments as a sequence of scripts: push each as an assertion frame, check after every one, and reuse solver state throughout")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: solve [-sut z3sim|cvc4sim] [-release R] [-fuel N] [-model] file.smt2")
+	if flag.NArg() != 1 && !(*incremental && flag.NArg() >= 1) {
+		fmt.Fprintln(os.Stderr, "usage: solve [-sut z3sim|cvc4sim] [-release R] [-fuel N] [-model] file.smt2\n       solve -incremental [flags] a.smt2 b.smt2 ...")
 		os.Exit(2)
-	}
-
-	data, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	script, err := smtlib.ParseScript(string(data))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "parse error:", err)
-		os.Exit(1)
 	}
 
 	lim := solver.DefaultLimits()
@@ -77,6 +78,23 @@ func main() {
 			os.Exit(139)
 		}
 	}()
+
+	if *incremental {
+		runIncremental(s, tr, flag.Args(), *showModel)
+		return
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	script, err := smtlib.ParseScript(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parse error:", err)
+		os.Exit(1)
+	}
+
 	out := s.SolveScript(script)
 	fmt.Println(out.Result)
 	if (out.Result == solver.ResUnknown || out.Result == solver.ResTimeout) && out.Reason != "" {
@@ -89,21 +107,70 @@ func main() {
 		}
 	}
 	if *showModel && out.Result == solver.ResSat {
-		var names []string
-		for name := range out.Model {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Println("(")
-		for _, name := range names {
-			fmt.Printf("  (define-fun %s () %s %s)\n", name, out.Model[name].Sort(), out.Model[name])
-		}
-		fmt.Println(")")
+		printModel(out.Model)
 	}
 	if *validate && out.Result == solver.ResSat {
 		if ok, reason := harness.ValidateModel(script, out.Model); !ok {
 			fmt.Fprintln(os.Stderr, "; invalid model:", reason)
 			os.Exit(3)
+		}
+	}
+}
+
+// printModel prints a sat model in define-fun form, names sorted.
+func printModel(model eval.Model) {
+	var names []string
+	for name := range model {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("(")
+	for _, name := range names {
+		fmt.Printf("  (define-fun %s () %s %s)\n", name, model[name].Sort(), model[name])
+	}
+	fmt.Println(")")
+}
+
+// runIncremental drives the multi-script session: every script becomes
+// one assertion frame, checked cumulatively, with per-script verdicts
+// on stdout and the session's reuse summary on stderr.
+func runIncremental(s *solver.Solver, tr *telemetry.Tracker, paths []string, showModel bool) {
+	// One symbol table for the whole session: a script may use
+	// functions declared by any earlier script.
+	decls := map[string]ast.Sort{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		script, err := smtlib.ParseScriptWith(string(data), decls)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse error in %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		s.Push()
+		var out solver.Outcome
+		if err := s.Assert(script.Asserts()...); err != nil {
+			out = solver.Outcome{Result: solver.ResUnknown, Reason: err.Error()}
+		} else {
+			out = s.Check()
+		}
+		fmt.Printf("%s: %s\n", path, out.Result)
+		if (out.Result == solver.ResUnknown || out.Result == solver.ResTimeout) && out.Reason != "" {
+			fmt.Fprintln(os.Stderr, "; reason:", out.Reason)
+		}
+		if showModel && out.Result == solver.ResSat {
+			printModel(out.Model)
+		}
+	}
+	st := s.Reuse()
+	fmt.Fprintf(os.Stderr, "; reuse: frames=%d asserts=%d learned=%d atoms=%d tableau_vars=%d\n",
+		st.Frames, st.LiveAsserts, st.LearnedLive, st.AtomsLive, st.TableauAtoms)
+	if tr != nil {
+		if err := telemetry.WriteSummary(os.Stderr, tr.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/ast"
 	"repro/internal/bugdb"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -149,6 +150,66 @@ func SolverReference(b *testing.B) {
 	}
 }
 
+// SolverIncremental measures the live push/pop path: a base script is
+// asserted once, and each op re-checks one of a family of related
+// suffixes through Push/Assert/Check/Pop on the SAME solver — the warm
+// workload cold re-solving pays full price for. Compare its ns/op
+// against SolverIncrementalCold, which decides the identical
+// base+suffix conjunctions with a monolithic Solve per op.
+func SolverIncremental(b *testing.B) {
+	b.ReportAllocs()
+	base, suffixes := incrementalWorkload(b)
+	s := solver.NewReference()
+	if err := s.Assert(base...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push()
+		if err := s.Assert(suffixes[i%len(suffixes)]...); err != nil {
+			b.Fatal(err)
+		}
+		if out := s.Check(); out.Result == solver.ResUnknown || out.Result == solver.ResTimeout {
+			b.Fatalf("incremental check: %v (%s)", out.Result, out.Reason)
+		}
+		s.Pop()
+	}
+}
+
+// SolverIncrementalCold is the control for SolverIncremental: the same
+// base+suffix conjunctions, each decided by a from-scratch Solve on a
+// fresh solver. The incremental/cold ops-per-sec ratio is the measured
+// value of push/pop warm-state reuse.
+func SolverIncrementalCold(b *testing.B) {
+	b.ReportAllocs()
+	base, suffixes := incrementalWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := solver.NewReference()
+		asserts := append(append([]ast.Term{}, base...), suffixes[i%len(suffixes)]...)
+		if out := s.Solve(asserts); out.Result == solver.ResUnknown || out.Result == solver.ResTimeout {
+			b.Fatalf("cold solve: %v (%s)", out.Result, out.Reason)
+		}
+	}
+}
+
+// incrementalWorkload builds the shared base/suffix corpus both
+// incremental benchmarks decide: one generated script as the common
+// prefix and a family of generated scripts as per-op suffixes.
+func incrementalWorkload(b *testing.B) ([]ast.Term, [][]ast.Term) {
+	b.Helper()
+	g, err := gen.New(gen.QFLIA, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := g.Sat().Script.Asserts()
+	var suffixes [][]ast.Term
+	for i := 0; i < 8; i++ {
+		suffixes = append(suffixes, g.Sat().Script.Asserts())
+	}
+	return base, suffixes
+}
+
 // ParsePrint measures the SMT-LIB front end round trip.
 func ParsePrint(b *testing.B) {
 	b.ReportAllocs()
@@ -169,6 +230,36 @@ func ParsePrint(b *testing.B) {
 	}
 }
 
+// calibSink keeps the compiler from eliding the calibration workload.
+var calibSink uint64
+
+// Calibrate is a fixed, input-independent workload — xorshift-filled
+// 1 KiB allocations plus a byte-sum pass — that exercises the CPU, the
+// allocator, and memory bandwidth in rough proportion to the solver
+// benchmarks. cmd/bench records its ns/op alongside every report and
+// uses the baseline/current ratio to normalize throughput comparisons:
+// on a shared host the machine's effective speed drifts between runs,
+// and this workload drifts with it while real code regressions do not.
+func Calibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(88172645463325252)
+		var sum uint64
+		for j := 0; j < 2048; j++ {
+			buf := make([]byte, 1024)
+			for k := range buf {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				buf[k] = byte(x)
+			}
+			for _, c := range buf {
+				sum += uint64(c)
+			}
+		}
+		calibSink = sum
+	}
+}
+
 // Registry maps the stable benchmark names recorded in BENCH_<n>.json
 // to their bodies. Fast reports whether the benchmark is cheap enough
 // for CI short mode (seconds, not half a minute, per op).
@@ -184,6 +275,8 @@ var All = []Entry{
 	{Name: "ThroughputInstrumented", Fast: true, Fn: ThroughputInstrumented},
 	{Name: "FusionOnly", Fast: true, Fn: FusionOnly},
 	{Name: "SolverReference", Fast: true, Fn: SolverReference},
+	{Name: "SolverIncremental", Fast: true, Fn: SolverIncremental},
+	{Name: "SolverIncrementalCold", Fast: true, Fn: SolverIncrementalCold},
 	{Name: "ParsePrint", Fast: true, Fn: ParsePrint},
 	{Name: "Fig8Campaign", Fast: false, Fn: Fig8Campaign},
 }

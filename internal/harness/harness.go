@@ -264,6 +264,60 @@ func taskSeed(seed int64, logic gen.Logic, iter int) int64 {
 	return int64(mix64(mix64(h) + uint64(iter)*0x9e3779b97f4a7c15))
 }
 
+// familyKey identifies the seed family of a task: two tasks are in the
+// same family exactly when they derive their tests from the same
+// seed(s) of the same logic. The scheduler batches a family onto one
+// worker so the solver's warm caches carry shared seed structure from
+// one variant to the next.
+type familyKey struct {
+	logicIdx int
+	mutation bool
+	oracle   core.Status
+	s1, s2   int // pool pick indices; s2 is -1 for mutation tasks
+}
+
+// familyOf computes a task's family key by replaying the prefix of its
+// RNG stream that selects the oracle and the seed-pool indices. The
+// replay recreates the task RNG from its seed and discards it, so the
+// task's own stream — rebuilt from the same seed in runTaskInner — is
+// untouched: per-task RNG coordinates are exactly those of the
+// unbatched scheduler, draw for draw.
+func familyOf(cfg Campaign, id int) familyKey {
+	logicIdx, iter := id/cfg.Iterations, id%cfg.Iterations
+	rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, cfg.Logics[logicIdx], iter)))
+	k := familyKey{logicIdx: logicIdx, oracle: core.StatusSat, s2: -1}
+	if rng.Intn(2) == 1 {
+		k.oracle = core.StatusUnsat
+	}
+	k.mutation = cfg.Mode == ModeMutate || (cfg.Mode == ModeBoth && iter%2 == 1)
+	// Mirror seedPool.pick's draws: one Intn(SeedPool) per picked seed.
+	k.s1 = rng.Intn(cfg.SeedPool)
+	if !k.mutation {
+		k.s2 = rng.Intn(cfg.SeedPool)
+	}
+	return k
+}
+
+// buildFamilies groups the task ids [0, total) into per-seed families.
+// Ids stay in ascending order inside each family, and families are
+// ordered by their first task id, so the schedule is a pure function of
+// the campaign configuration — never of thread count or timing.
+func buildFamilies(cfg Campaign, total int) [][]int {
+	index := map[familyKey]int{}
+	var fams [][]int
+	for id := 0; id < total; id++ {
+		k := familyOf(cfg, id)
+		fi, ok := index[k]
+		if !ok {
+			fi = len(fams)
+			index[k] = fi
+			fams = append(fams, nil)
+		}
+		fams[fi] = append(fams[fi], id)
+	}
+	return fams
+}
+
 // taskOutcome is the raw result of one fusion+solve task, produced by
 // any worker and classified later in deterministic task order.
 type taskOutcome struct {
@@ -372,8 +426,16 @@ func Run(cfg Campaign) (*Result, error) {
 		return nil, err
 	}
 
+	// Tasks are dispatched as per-seed families: all variants of one
+	// seed (pair) run on the same worker, in ascending task order, with
+	// the solver's warm caches reset at each family boundary. Verdicts
+	// and models are unaffected (the caches are semantically
+	// transparent); what batching buys is cross-variant cache reuse,
+	// and what the reset buys is thread-invariance — each task's
+	// telemetry delta is a function of its in-family predecessors only,
+	// never of which worker ran the family or what ran there before.
 	total := len(cfg.Logics) * cfg.Iterations
-	taskCh := make(chan int, cfg.Threads)
+	taskCh := make(chan []int, cfg.Threads)
 	outCh := make(chan taskOutcome, cfg.Threads)
 
 	var wg sync.WaitGroup
@@ -381,29 +443,32 @@ func Run(cfg Campaign) (*Result, error) {
 		wg.Add(1)
 		go func(sut *solver.Solver, tr *telemetry.Tracker) {
 			defer wg.Done()
-			for id := range taskCh {
-				out := runTask(cfg, pools, sut, tr, id)
-				if out.wallTimeout {
-					// The watchdog abandoned a solve mid-flight: that
-					// solver instance may hold inconsistent state, so
-					// replace it — together with its tracker, which the
-					// abandoned goroutine may still be writing. makeSUT
-					// cannot fail here — the same arguments succeeded
-					// when the pool was built.
-					if tr != nil {
-						tr = telemetry.NewTracker()
+			for fam := range taskCh {
+				sut.ResetWarm()
+				for _, id := range fam {
+					out := runTask(cfg, pools, sut, tr, id)
+					if out.wallTimeout {
+						// The watchdog abandoned a solve mid-flight: that
+						// solver instance may hold inconsistent state, so
+						// replace it — together with its tracker, which the
+						// abandoned goroutine may still be writing. makeSUT
+						// cannot fail here — the same arguments succeeded
+						// when the pool was built.
+						if tr != nil {
+							tr = telemetry.NewTracker()
+						}
+						if fresh, err := makeSUT(cfg, tr); err == nil {
+							sut = fresh
+						}
 					}
-					if fresh, err := makeSUT(cfg, tr); err == nil {
-						sut = fresh
-					}
+					outCh <- out
 				}
-				outCh <- out
 			}
 		}(suts[w], trackers[w])
 	}
 	go func() {
-		for id := 0; id < total; id++ {
-			taskCh <- id
+		for _, fam := range buildFamilies(cfg, total) {
+			taskCh <- fam
 		}
 		close(taskCh)
 		wg.Wait()
@@ -760,6 +825,10 @@ func buildCorpus(cfg Campaign, suts []*solver.Solver, trackers []*telemetry.Trac
 				if rest&1 == 1 {
 					status = core.StatusUnsat
 				}
+				// Fresh warm state per slot: a slot's vetting telemetry
+				// must depend on the slot alone, not on which worker
+				// happened to vet (or solve) something else first.
+				sut.ResetWarm()
 				before := tr.Snapshot()
 				s, n, err := vetSlot(cfg, cfg.Logics[logicIdx], slot, status, sut)
 				tries[j] = n

@@ -233,6 +233,16 @@ func TestThreadCountInvariance(t *testing.T) {
 			if ref.Tests == 0 {
 				t.Fatal("campaign ran no tests")
 			}
+			// Family batching must actually reuse warm state — a zero hit
+			// count would mean the batcher groups nothing and the perf win
+			// silently evaporated — and the reuse counters must be part of
+			// the invariant snapshot like every other counter.
+			if hits := metrics[0].Counter("yy_warm_eval_hits_total"); hits == 0 {
+				t.Error("family batching produced no warm eval-cache hits")
+			}
+			if hits := metrics[0].Counter("yy_rewrite_memo_hits_total"); hits == 0 {
+				t.Error("family batching produced no rewrite-memo hits")
+			}
 			for i, threads := range threadCounts[1:] {
 				r := results[i+1]
 				if summary(r) != summary(ref) {

@@ -14,7 +14,7 @@ import (
 func (s *Solver) preprocess(asserts []ast.Term) ([]ast.Term, error) {
 	out := make([]ast.Term, len(asserts))
 	for i, a := range asserts {
-		out[i] = s.rewrite(a)
+		out[i] = s.rewriteCached(a)
 	}
 
 	out = s.inline(out)
@@ -33,7 +33,7 @@ func (s *Solver) preprocess(asserts []ast.Term) ([]ast.Term, error) {
 				s.hit(pQuantGiveUp)
 				return nil, fmt.Errorf("quantifier not eliminated: %s", ast.Print(a))
 			}
-			out[i] = s.rewrite(a)
+			out[i] = s.rewriteCached(a)
 		}
 		out = s.inline(out)
 	}
@@ -42,7 +42,7 @@ func (s *Solver) preprocess(asserts []ast.Term) ([]ast.Term, error) {
 
 	final := out[:0]
 	for _, a := range out {
-		r := s.rewrite(a)
+		r := s.rewriteCached(a)
 		if bl, ok := r.(*ast.BoolLit); ok && bl.V {
 			continue
 		}
@@ -169,7 +169,7 @@ func (s *Solver) inline(asserts []ast.Term) []ast.Term {
 			out = append(out, a)
 			continue
 		}
-		out = append(out, s.rewrite(sub))
+		out = append(out, s.rewriteCached(sub))
 	}
 	if len(out) == 0 {
 		out = append(out, ast.True)

@@ -1,0 +1,173 @@
+package sat
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Incremental counters. Push/Pop totals count frame operations;
+// learned-reuse counts the learned clauses that survive a Pop because
+// their derivations touched only retained frames. All three increment
+// at deterministic points of the assert/solve sequence, so they are
+// step-based like every other counter.
+var (
+	cPushes        = telemetry.NewCounter("yy_solver_push_total", "assertion frames pushed")
+	cPops          = telemetry.NewCounter("yy_solver_pop_total", "assertion frames popped")
+	cLearnedReused = telemetry.NewCounter("yy_learned_reused_total", "learned clauses retained across a Pop")
+)
+
+// frameMark snapshots the solver's root state at a Push: everything
+// above these highwater marks belongs to the pushed frame and is
+// retracted on the matching Pop. Learned clauses are the exception —
+// they are evicted by dependency tag, not position, so lemmas whose
+// derivations only used retained frames survive.
+type frameMark struct {
+	nVars    int
+	nClauses int
+	nLearned int
+	trailLen int
+	ok       bool
+}
+
+// Frame returns the current assertion-frame depth (0 = base).
+func (s *Solver) Frame() int { return s.frame }
+
+// NumLearned reports how many learned clauses are currently attached —
+// the pool a later frame's Solve starts from.
+func (s *Solver) NumLearned() int { return len(s.learned) }
+
+// Push opens a new assertion frame. Clauses and variables added after
+// a Push are retracted by the matching Pop; the solver instance — its
+// trail prefix, learned clauses from earlier frames, variable
+// activities, and saved phases — stays alive across the boundary.
+func (s *Solver) Push() {
+	s.backtrackTo(0)
+	s.frame++
+	s.frames = append(s.frames, frameMark{
+		nVars:    s.nVars,
+		nClauses: len(s.clauses),
+		nLearned: len(s.learned),
+		trailLen: len(s.trail),
+		ok:       s.ok,
+	})
+	s.Telem.Inc(cPushes)
+}
+
+// Pop closes the top assertion frame: the trail is rewound to the
+// frame boundary, clauses and variables added inside the frame are
+// detached and deallocated, and learned clauses are evicted exactly
+// when their dependency tag exceeds the restored frame — lemmas
+// derived purely from retained assertions keep working for the next
+// Solve. Panics when no frame is open.
+func (s *Solver) Pop() {
+	if len(s.frames) == 0 {
+		panic("sat: Pop without matching Push")
+	}
+	f := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	s.frame--
+	s.Telem.Inc(cPops)
+
+	// Rewind the trail to the frame boundary. Decision levels first
+	// (backtrackTo), then the root segment the frame appended. Root
+	// assignments implied only by retained clauses are re-derivable by
+	// the next Solve, so positional rewind is sound; assignments
+	// implied by popped clauses MUST go, so it is also necessary.
+	s.backtrackTo(0)
+	for i := len(s.trail) - 1; i >= f.trailLen; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v]
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		if v <= f.nVars {
+			s.order.push(v)
+		}
+	}
+	s.trail = s.trail[:f.trailLen]
+	s.qhead = f.trailLen
+
+	// Detach and drop the frame's problem clauses.
+	for _, c := range s.clauses[f.nClauses:] {
+		s.detach(c)
+	}
+	s.clauses = s.clauses[:f.nClauses]
+
+	// Evict learned clauses by dependency tag. A clause tagged above
+	// the restored frame was derived (transitively, through reason
+	// clauses and skipped root assignments) from at least one popped
+	// assertion and would be unsound to keep; everything else is a
+	// theory-free consequence of the retained frames and is reused.
+	reused := int64(0)
+	kept := s.learned[:0]
+	for i, c := range s.learned {
+		if c.tag <= s.frame {
+			kept = append(kept, c)
+			if i >= f.nLearned {
+				reused++
+			}
+		} else {
+			s.detach(c)
+		}
+	}
+	// Nil the evicted tail so dropped clauses are collectable.
+	for i := len(kept); i < len(s.learned); i++ {
+		s.learned[i] = nil
+	}
+	s.learned = kept
+	s.Telem.Add(cLearnedReused, reused)
+
+	// Deallocate the frame's variables. Clauses referencing them are
+	// exactly the ones just detached (a clause referencing a frame-f
+	// variable cannot have been added, or derived, before frame f).
+	s.order.dropAbove(f.nVars)
+	s.assign = s.assign[:f.nVars+1]
+	s.level = s.level[:f.nVars+1]
+	s.reason = s.reason[:f.nVars+1]
+	s.activity = s.activity[:f.nVars+1]
+	s.phase = s.phase[:f.nVars+1]
+	s.rootTag = s.rootTag[:f.nVars+1]
+	s.watches = s.watches[:(f.nVars+1)*2]
+	s.nVars = f.nVars
+
+	// A root-level contradiction discovered inside the frame may have
+	// depended on popped clauses, so ok is restored to its Push-time
+	// value. If the contradiction was in fact implied by retained
+	// frames alone, CDCL completeness rediscovers it on the next Solve.
+	s.ok = f.ok
+}
+
+// detach removes a clause from its two watch lists. Watched positions
+// are always lits[0] and lits[1] (propagate maintains this invariant
+// when it moves a watch).
+func (s *Solver) detach(c *clause) {
+	for _, l := range [2]Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[l.Neg().index()]
+		for i, w := range ws {
+			if w == c {
+				ws[i] = ws[len(ws)-1]
+				ws[len(ws)-1] = nil
+				s.watches[l.Neg().index()] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// dropAbove removes every variable above limit from the heap and
+// restores the heap property over the survivors.
+func (h *varHeap) dropAbove(limit int) {
+	kept := h.heap[:0]
+	for _, v := range h.heap {
+		if v <= limit {
+			kept = append(kept, v)
+		} else {
+			delete(h.pos, v)
+		}
+	}
+	h.heap = kept
+	for i, v := range h.heap {
+		h.pos[v] = i
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}

@@ -1,0 +1,221 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPushPopBasic(t *testing.T) {
+	s := New()
+	a, b := Lit(s.NewVar()), Lit(s.NewVar())
+	s.AddClause(a, b)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("base Solve = %v", got)
+	}
+	s.Push()
+	s.AddClause(-a)
+	s.AddClause(-b)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("frame-1 Solve = %v", got)
+	}
+	s.Pop()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("post-Pop Solve = %v", got)
+	}
+	if s.Frame() != 0 {
+		t.Errorf("Frame = %d, want 0", s.Frame())
+	}
+}
+
+func TestPopWithoutPushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on frame 0 should panic")
+		}
+	}()
+	New().Pop()
+}
+
+// TestPopRetractsFrameVars checks that variables allocated inside a
+// frame are deallocated on Pop and can be re-allocated afterwards.
+func TestPopRetractsFrameVars(t *testing.T) {
+	s := New()
+	a := Lit(s.NewVar())
+	s.AddClause(a)
+	s.Push()
+	x := Lit(s.NewVar())
+	s.AddClause(-a, x)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("frame-1 Solve = %v", got)
+	}
+	s.Pop()
+	if s.NumVars() != 1 {
+		t.Fatalf("NumVars after Pop = %d, want 1", s.NumVars())
+	}
+	y := Lit(s.NewVar()) // reuses the index
+	s.AddClause(-y)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("post-Pop Solve = %v", got)
+	}
+	if s.Value(y.Var()) {
+		t.Error("y should be false")
+	}
+}
+
+// TestLearnedEviction forces a lemma derived from frame-local clauses
+// and checks the lemma dies with its frame: after the Pop, the popped
+// constraint must be gone entirely.
+func TestLearnedEviction(t *testing.T) {
+	s := New()
+	x, y := Lit(s.NewVar()), Lit(s.NewVar())
+	s.Push()
+	// Together these force -x; solving learns that as a unit or
+	// backtracks through it.
+	s.AddClause(-x, y)
+	s.AddClause(-x, -y)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("frame-1 Solve = %v", got)
+	}
+	if s.Value(x.Var()) {
+		t.Fatal("frame-1 model should set x false")
+	}
+	s.Pop()
+	// Everything learned above depended on frame 1; x must be free again.
+	s.AddClause(x)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("post-Pop Solve = %v, want Sat", got)
+	}
+	if !s.Value(x.Var()) {
+		t.Error("x should be true")
+	}
+}
+
+// TestLemmaRetention checks AddLemma's contract: a lemma over base
+// variables added inside a frame survives the frame's Pop.
+func TestLemmaRetention(t *testing.T) {
+	s := New()
+	x, y := Lit(s.NewVar()), Lit(s.NewVar())
+	s.AddClause(x, y)
+	s.Push()
+	s.AddLemma(-x, -y) // tagged frame 0: both vars are base vars
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("frame-1 Solve = %v", got)
+	}
+	s.Pop()
+	s.AddClause(x)
+	s.AddClause(y)
+	// The retained lemma contradicts x∧y.
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("post-Pop Solve = %v, want Unsat from retained lemma", got)
+	}
+}
+
+// randomClauses builds a random 3-CNF over n vars.
+func randomClauses(rng *rand.Rand, n, m int) [][]Lit {
+	out := make([][]Lit, m)
+	for i := range out {
+		c := make([]Lit, 3)
+		for j := range c {
+			l := Lit(rng.Intn(n) + 1)
+			if rng.Intn(2) == 1 {
+				l = -l
+			}
+			c[j] = l
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func solveFresh(n int, groups ...[][]Lit) Status {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for _, g := range groups {
+		for _, c := range g {
+			s.AddClause(c...)
+		}
+	}
+	return s.Solve()
+}
+
+// TestIncrementalMatchesMonolithic drives random push/pop sequences and
+// checks every Solve verdict against a fresh solver holding exactly the
+// live assertions. This is the soundness test for frame-tagged learned
+// retention: a stale lemma surviving a Pop, or a lost assertion, shows
+// up as a verdict mismatch.
+func TestIncrementalMatchesMonolithic(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8)
+		base := randomClauses(rng, n, 2+rng.Intn(10))
+		inc := New()
+		for i := 0; i < n; i++ {
+			inc.NewVar()
+		}
+		for _, c := range base {
+			inc.AddClause(c...)
+		}
+		if got, want := inc.Solve(), solveFresh(n, base); got != want {
+			t.Fatalf("seed %d: base verdict %v, fresh %v", seed, got, want)
+		}
+		// A few rounds of push extra / solve / pop / solve.
+		for round := 0; round < 4; round++ {
+			extra := randomClauses(rng, n, 1+rng.Intn(8))
+			inc.Push()
+			for _, c := range extra {
+				inc.AddClause(c...)
+			}
+			if got, want := inc.Solve(), solveFresh(n, base, extra); got != want {
+				t.Fatalf("seed %d round %d: framed verdict %v, fresh %v", seed, round, got, want)
+			}
+			inc.Pop()
+			if got, want := inc.Solve(), solveFresh(n, base); got != want {
+				t.Fatalf("seed %d round %d: post-Pop verdict %v, fresh %v", seed, round, got, want)
+			}
+		}
+	}
+}
+
+// TestNestedFrames exercises two frames deep with fresh variables per
+// frame and checks verdicts after each transition.
+func TestNestedFrames(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		n := 5 + rng.Intn(5)
+		base := randomClauses(rng, n, 3+rng.Intn(6))
+		inc := New()
+		for i := 0; i < n; i++ {
+			inc.NewVar()
+		}
+		for _, c := range base {
+			inc.AddClause(c...)
+		}
+		inc.Push()
+		inc.NewVar() // frame-1 variable
+		f1 := randomClauses(rng, n+1, 2+rng.Intn(5))
+		for _, c := range f1 {
+			inc.AddClause(c...)
+		}
+		if got, want := inc.Solve(), solveFresh(n+1, base, f1); got != want {
+			t.Fatalf("seed %d: depth-1 verdict %v, fresh %v", seed, got, want)
+		}
+		inc.Push()
+		f2 := randomClauses(rng, n+1, 2+rng.Intn(5))
+		for _, c := range f2 {
+			inc.AddClause(c...)
+		}
+		if got, want := inc.Solve(), solveFresh(n+1, base, f1, f2); got != want {
+			t.Fatalf("seed %d: depth-2 verdict %v, fresh %v", seed, got, want)
+		}
+		inc.Pop()
+		if got, want := inc.Solve(), solveFresh(n+1, base, f1); got != want {
+			t.Fatalf("seed %d: back to depth-1 verdict %v, fresh %v", seed, got, want)
+		}
+		inc.Pop()
+		if got, want := inc.Solve(), solveFresh(n, base); got != want {
+			t.Fatalf("seed %d: back to base verdict %v, fresh %v", seed, got, want)
+		}
+	}
+}

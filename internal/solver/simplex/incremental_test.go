@@ -1,0 +1,157 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestMarkPopRestoresBounds(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	if !s.AssertVarBound(x, Ge, big.NewRat(0, 1)) {
+		t.Fatal("x >= 0 rejected")
+	}
+	m := s.Mark()
+	if !s.AssertVarBound(x, Le, big.NewRat(-1, 1)) {
+		// Conflict detected eagerly — still covered by the pop below.
+		t.Log("x <= -1 rejected eagerly")
+	}
+	s.PopToMark(m)
+	if ok, err := s.Check(); err != nil || !ok {
+		t.Fatalf("Check after pop = %v, %v; want sat", ok, err)
+	}
+	vals := s.Values([]int{x})
+	if vals[x].Sign() < 0 {
+		t.Errorf("x = %v violates retained bound x >= 0", vals[x])
+	}
+}
+
+func TestMarkPopReusesSlackRows(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	combo := func() map[int]*big.Rat {
+		return map[int]*big.Rat{x: big.NewRat(1, 1), y: big.NewRat(1, 1)}
+	}
+	if !s.AssertAtom(combo(), Ge, big.NewRat(2, 1)) {
+		t.Fatal("x+y >= 2 rejected")
+	}
+	nBefore := s.n
+	m := s.Mark()
+	if !s.AssertAtom(combo(), Le, big.NewRat(10, 1)) {
+		t.Fatal("x+y <= 10 rejected")
+	}
+	if s.n != nBefore {
+		t.Fatalf("re-asserting the same combination allocated a new slack (n %d -> %d)", nBefore, s.n)
+	}
+	s.PopToMark(m)
+	// The row survives the pop: asserting over it again is still warm.
+	if !s.AssertAtom(combo(), Le, big.NewRat(3, 1)) {
+		t.Fatal("x+y <= 3 rejected after pop")
+	}
+	if s.n != nBefore {
+		t.Fatalf("slack row not reused after pop (n %d -> %d)", nBefore, s.n)
+	}
+	if ok, err := s.Check(); err != nil || !ok {
+		t.Fatalf("Check = %v, %v; want sat", ok, err)
+	}
+}
+
+// randomAtom draws a small random atom over vars.
+func randomAtom(rng *rand.Rand, vars []int) (map[int]*big.Rat, Op, *big.Rat) {
+	coeffs := map[int]*big.Rat{}
+	for _, v := range vars {
+		if rng.Intn(2) == 0 {
+			coeffs[v] = big.NewRat(int64(rng.Intn(5)-2), 1)
+		}
+	}
+	ops := []Op{Le, Lt, Ge, Gt, Eq}
+	return coeffs, ops[rng.Intn(len(ops))], big.NewRat(int64(rng.Intn(9)-4), 1)
+}
+
+type atom struct {
+	coeffs map[int]*big.Rat
+	op     Op
+	c      *big.Rat
+}
+
+func checkAll(nVars int, groups ...[]atom) bool {
+	s := New()
+	vars := make([]int, nVars)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for _, g := range groups {
+		for _, a := range g {
+			if !s.AssertAtom(a.coeffs, a.op, a.c) {
+				return false
+			}
+		}
+	}
+	ok, err := s.Check()
+	return err == nil && ok
+}
+
+// TestMarkPopMatchesFresh drives random assert/mark/assert/pop rounds
+// and compares every Check verdict against a fresh instance holding
+// exactly the live atoms — the soundness test for bound retraction
+// over a retained tableau.
+func TestMarkPopMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(3)
+		s := New()
+		vars := make([]int, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var base []atom
+		baseOK := true
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			co, op, c := randomAtom(rng, vars)
+			base = append(base, atom{co, op, c})
+			baseOK = baseOK && s.AssertAtom(co, op, c)
+		}
+		if baseOK {
+			ok, err := s.Check()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if ok != checkAll(nVars, base) {
+				t.Fatalf("seed %d: base verdict %v, fresh %v", seed, ok, !ok)
+			}
+			if !ok {
+				continue // conflicting base: retraction rounds start elsewhere
+			}
+		} else {
+			continue
+		}
+		for round := 0; round < 3; round++ {
+			m := s.Mark()
+			var extra []atom
+			extraOK := true
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				co, op, c := randomAtom(rng, vars)
+				extra = append(extra, atom{co, op, c})
+				extraOK = extraOK && s.AssertAtom(co, op, c)
+			}
+			if extraOK {
+				ok, err := s.Check()
+				if err != nil {
+					t.Fatalf("seed %d round %d: %v", seed, round, err)
+				}
+				if want := checkAll(nVars, base, extra); ok != want {
+					t.Fatalf("seed %d round %d: framed verdict %v, fresh %v", seed, round, ok, want)
+				}
+			}
+			s.PopToMark(m)
+			ok, err := s.Check()
+			if err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			if !ok {
+				t.Fatalf("seed %d round %d: sat base became unsat after PopToMark", seed, round)
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ type Solver struct {
 	rows   map[int]map[int]*big.Rat // basic var -> (nonbasic var -> coeff)
 	basic  map[int]bool
 	slacks map[string]int // normalized combo key -> slack var
+	undos  []boundUndo    // bound-tightening trail for Mark/PopToMark
 
 	// MaxPivots bounds the pivoting loop; exceeding it reports an
 	// (extremely unlikely with Bland's rule) resource error.
@@ -91,8 +92,10 @@ func comboKey(coeffs map[int]*big.Rat) string {
 func (s *Solver) slackFor(coeffs map[int]*big.Rat) int {
 	key := comboKey(coeffs)
 	if v, ok := s.slacks[key]; ok {
+		s.Telem.Inc(cTableauHits)
 		return v
 	}
+	s.Telem.Inc(cTableauMisses)
 	sl := s.NewVar()
 	row := map[int]*big.Rat{}
 	val := Zero()
@@ -196,6 +199,7 @@ func (s *Solver) assertUpper(v int, b Num) bool {
 	if s.hasLo[v] && s.lower[v].Cmp(b) > 0 {
 		return false // conflict with lower bound
 	}
+	s.recordBound(v)
 	s.upper[v] = b
 	s.hasHi[v] = true
 	if !s.basic[v] && s.value[v].Cmp(b) > 0 {
@@ -211,6 +215,7 @@ func (s *Solver) assertLower(v int, b Num) bool {
 	if s.hasHi[v] && s.upper[v].Cmp(b) < 0 {
 		return false
 	}
+	s.recordBound(v)
 	s.lower[v] = b
 	s.hasLo[v] = true
 	if !s.basic[v] && s.value[v].Cmp(b) < 0 {

@@ -194,13 +194,17 @@ func (s *Solver) stringTheory(lits []ast.Term) (arith.Status, eval.Model) {
 	}
 	s.hit(pTheoryStringsLen)
 	s.hit(pTheoryStringsSearch)
-	st, m := strings.Check(&strings.Problem{
+	prob := &strings.Problem{
 		Lits:   lits,
 		Limits: s.cfg.Limits.Strings,
 		Defect: func(id string) bool { return s.defect(Defect(id)) },
 		Fuel:   s.meter,
 		Telem:  s.cfg.Telemetry,
-	})
+	}
+	if s.warm != nil {
+		prob.Warm = s.warm.str
+	}
+	st, m := strings.Check(prob)
 	switch st {
 	case arith.Sat:
 		s.hit(pStrSat)

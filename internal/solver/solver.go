@@ -247,6 +247,12 @@ type Solver struct {
 	// package-global) so parallel campaigns neither race on it nor let
 	// shard interleaving leak into generated names.
 	freshCounter int
+	// warm holds the semantically transparent caches reused across
+	// Solve calls (see warm.go); ResetWarm drops them.
+	warm *warmState
+	// inc is the live incremental session (see incremental.go); nil
+	// until the first Push/Assert/Check opens one.
+	inc *incState
 }
 
 // New returns a solver with the given configuration. Zero limits are
@@ -255,7 +261,7 @@ func New(cfg Config) *Solver {
 	if cfg.Limits.MaxBoolModels == 0 {
 		cfg.Limits = DefaultLimits()
 	}
-	return &Solver{cfg: cfg}
+	return &Solver{cfg: cfg, warm: newWarmState()}
 }
 
 // NewReference returns the defect-free reference solver.

@@ -238,8 +238,8 @@ func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Mode
 			if !allAssigned(rhs, m) {
 				continue
 			}
-			val, err := eval.Term(rhs, m)
-			if err != nil {
+			val, ok := c.propValue(rhs, m)
+			if !ok {
 				continue
 			}
 			if sv, ok := val.(eval.StrV); ok && c.violatesNeg(v, string(sv)) {
@@ -290,7 +290,7 @@ func (c *checker) dfs(order []string, cands map[string][]eval.Value, m eval.Mode
 // litsConsistent evaluates every literal whose free variables are all
 // assigned; any false literal prunes the branch.
 func (c *checker) litsConsistent(m eval.Model) bool {
-	for i, l := range c.lits {
+	for i := range c.lits {
 		ready := true
 		for _, name := range c.litVars[i] {
 			if _, ok := m[name]; !ok {
@@ -301,8 +301,7 @@ func (c *checker) litsConsistent(m eval.Model) bool {
 		if !ready {
 			continue
 		}
-		ok, err := eval.Bool(l, m)
-		if err != nil || !ok {
+		if !c.litPasses(i, m) {
 			return false
 		}
 	}
@@ -325,8 +324,7 @@ func (c *checker) litsConsistentAfter(m eval.Model, v string) bool {
 		if !ready {
 			continue
 		}
-		ok, err := eval.Bool(c.lits[i], m)
-		if err != nil || !ok {
+		if !c.litPasses(i, m) {
 			return false
 		}
 	}

@@ -70,6 +70,10 @@ type Problem struct {
 	// Telem records DFS-node and regex-derivative counts into the
 	// owner's tracker. Nil records nothing.
 	Telem *telemetry.Tracker
+	// Warm is the reusable evaluation cache shared across Check calls
+	// by the incremental layer. Nil disables caching; results are
+	// identical either way (see Warm).
+	Warm *Warm
 }
 
 // Check decides the conjunction. On Sat the model assigns every free
@@ -79,7 +83,7 @@ func Check(p *Problem) (Status, eval.Model) {
 	if lim.MaxLen == 0 {
 		lim = DefaultLimits()
 	}
-	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect, fuel: p.Fuel, telem: p.Telem}
+	c := &checker{lits: p.Lits, lim: lim, defect: p.Defect, fuel: p.Fuel, telem: p.Telem, warm: p.Warm}
 	if c.defect == nil {
 		c.defect = func(string) bool { return false }
 	}
@@ -93,6 +97,7 @@ type checker struct {
 	defect  func(id string) bool
 	fuel    *fuel.Meter
 	telem   *telemetry.Tracker
+	warm    *Warm
 
 	strVars []string
 	intVars []string

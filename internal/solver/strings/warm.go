@@ -1,0 +1,191 @@
+package strings
+
+import (
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/telemetry"
+)
+
+// Warm-cache counters: every memo probe on the DFS hot path records a
+// hit or a miss, so `-stats`/`-metrics` expose the reuse rate the
+// incremental layer achieves. Both are step-based (one increment per
+// memoized evaluation), so campaign totals stay thread-invariant as
+// long as the harness resets warm state at deterministic points.
+var (
+	cWarmEvalHits   = telemetry.NewCounter("yy_warm_eval_hits_total", "string-search literal evaluations served from the warm cache")
+	cWarmEvalMisses = telemetry.NewCounter("yy_warm_eval_misses_total", "string-search literal evaluations computed and cached")
+)
+
+// warmMaxEntries caps the total number of cached evaluations. When the
+// cap is exceeded the cache is cleared wholesale — a size-based (never
+// time-based) policy, so eviction is a deterministic function of the
+// solve sequence alone.
+const warmMaxEntries = 1 << 18
+
+// Warm is the string theory's reusable evaluation cache. The bounded
+// witness search re-evaluates the same literal under the same partial
+// assignment exponentially often: across sibling DFS branches, across
+// the DPLL(T) loop's successive boolean models (the literal sets
+// overlap heavily), and — because terms are hash-consed — across the
+// fused/mutated variants of one seed family. Every cached result is a
+// pure function of (literal term, values of its free variables):
+// eval.Bool/eval.Term spend no fuel, fire no defects, and hit no
+// coverage probes, so serving them from the cache is observationally
+// invisible — verdicts, models, defect firings, and fuel accounting
+// are bit-identical to a cold solve by construction.
+//
+// A Warm is single-owner like fuel.Meter and telemetry.Tracker: one
+// per solver instance, never shared across goroutines.
+type Warm struct {
+	// lits memoizes litsConsistent's pass/fail per literal: term →
+	// (encoded free-variable values → literal holds).
+	lits map[ast.Term]map[string]bool
+	// props memoizes defining-equation propagation: rhs term →
+	// (encoded free-variable values → evaluated value). The entry holds
+	// the rhs's free-variable list so the key encoder never re-derives
+	// it on the hot path.
+	props map[ast.Term]*propMemo
+	// entries counts cached values across both maps for the cap.
+	entries int
+	// scratch is the reusable key-encoding buffer (the per-solver
+	// scratch arena: key construction allocates nothing on a hit).
+	scratch []byte
+}
+
+type propMemo struct {
+	vars []string // free-variable names of the rhs, in ast.FreeVars order
+	vals map[string]propEntry
+}
+
+type propEntry struct {
+	val eval.Value
+	ok  bool // false: evaluation errored
+}
+
+// NewWarm returns an empty warm cache.
+func NewWarm() *Warm {
+	return &Warm{lits: map[ast.Term]map[string]bool{}, props: map[ast.Term]*propMemo{}}
+}
+
+// Reset drops every cached evaluation. The harness calls this at the
+// start of each seed family so per-task cache-hit telemetry is a
+// function of the family alone, never of worker scheduling.
+func (w *Warm) Reset() {
+	if w == nil {
+		return
+	}
+	w.lits = map[ast.Term]map[string]bool{}
+	w.props = map[ast.Term]*propMemo{}
+	w.entries = 0
+}
+
+// full reports whether the cap is hit; the caller clears wholesale.
+func (w *Warm) full() bool { return w.entries >= warmMaxEntries }
+
+// encodeKey appends an unambiguous encoding of the named variables'
+// values (in the given order) to the scratch buffer and returns it.
+// Only call with every name assigned in m. String values are length-
+// prefixed so no two assignments collide.
+func (w *Warm) encodeKey(names []string, m eval.Model) []byte {
+	buf := w.scratch[:0]
+	for _, name := range names {
+		switch v := m[name].(type) {
+		case eval.BoolV:
+			if v {
+				buf = append(buf, 'T')
+			} else {
+				buf = append(buf, 'F')
+			}
+		case eval.StrV:
+			buf = strconv.AppendInt(buf, int64(len(v)), 10)
+			buf = append(buf, ':')
+			buf = append(buf, v...)
+		default:
+			// Arithmetic values never appear during the DFS (integer and
+			// real variables are assigned by completeArith, after the
+			// search), but stay total: render through the value's string
+			// form, length-prefixed like the common case.
+			s := v.String()
+			buf = append(buf, '#')
+			buf = strconv.AppendInt(buf, int64(len(s)), 10)
+			buf = append(buf, ':')
+			buf = append(buf, s...)
+		}
+		buf = append(buf, ';')
+	}
+	w.scratch = buf
+	return buf
+}
+
+// litPasses evaluates literal i under m — through the warm cache when
+// one is attached — returning whether it holds (evaluation errors
+// count as failures, matching the search's pruning rule). The caller
+// guarantees every free variable of the literal is assigned.
+func (c *checker) litPasses(i int, m eval.Model) bool {
+	w := c.warm
+	if w == nil {
+		ok, err := eval.Bool(c.lits[i], m)
+		return err == nil && ok
+	}
+	l := c.lits[i]
+	lm := w.lits[l]
+	if lm == nil {
+		lm = map[string]bool{}
+		w.lits[l] = lm
+	}
+	key := w.encodeKey(c.litVars[i], m)
+	if v, ok := lm[string(key)]; ok {
+		c.telem.Inc(cWarmEvalHits)
+		return v
+	}
+	ok, err := eval.Bool(l, m)
+	v := err == nil && ok
+	if w.full() {
+		w.Reset()
+		lm = map[string]bool{}
+		w.lits[l] = lm
+	}
+	lm[string(key)] = v
+	w.entries++
+	c.telem.Inc(cWarmEvalMisses)
+	return v
+}
+
+// propValue evaluates a defining-equation rhs under m through the warm
+// cache. The boolean reports evaluation success (not satisfiability).
+func (c *checker) propValue(rhs ast.Term, m eval.Model) (eval.Value, bool) {
+	w := c.warm
+	if w == nil {
+		val, err := eval.Term(rhs, m)
+		return val, err == nil
+	}
+	pm := w.props[rhs]
+	if pm == nil {
+		fvs := ast.FreeVars(rhs)
+		names := make([]string, len(fvs))
+		for i, v := range fvs {
+			names[i] = v.Name
+		}
+		pm = &propMemo{vars: names, vals: map[string]propEntry{}}
+		w.props[rhs] = pm
+	}
+	key := w.encodeKey(pm.vars, m)
+	if e, ok := pm.vals[string(key)]; ok {
+		c.telem.Inc(cWarmEvalHits)
+		return e.val, e.ok
+	}
+	val, err := eval.Term(rhs, m)
+	e := propEntry{val: val, ok: err == nil}
+	if w.full() {
+		w.Reset()
+		fvsNames := pm.vars
+		pm = &propMemo{vars: fvsNames, vals: map[string]propEntry{}}
+		w.props[rhs] = pm
+	}
+	pm.vals[string(key)] = e
+	w.entries++
+	c.telem.Inc(cWarmEvalMisses)
+	return e.val, e.ok
+}

@@ -1,0 +1,109 @@
+package solver
+
+import (
+	"repro/internal/ast"
+	"repro/internal/solver/strings"
+	"repro/internal/telemetry"
+)
+
+// Rewrite-memo counters, step-based like every other counter: one
+// increment per top-level preprocess rewrite, hit or miss. They are a
+// deterministic function of the solve sequence since the last
+// ResetWarm, so the harness keeps them thread-invariant by resetting
+// warm state at deterministic points (family starts).
+var (
+	cRewriteMemoHits   = telemetry.NewCounter("yy_rewrite_memo_hits_total", "preprocess rewrites served from the warm memo")
+	cRewriteMemoMisses = telemetry.NewCounter("yy_rewrite_memo_misses_total", "preprocess rewrites computed and cached")
+)
+
+// rewriteMemoMax caps the rewrite memo; on overflow the memo is cleared
+// wholesale (size-based, never time-based, so eviction is deterministic).
+const rewriteMemoMax = 1 << 16
+
+// warmState is the per-solver cache layer reused across Solve calls.
+// Everything in it is semantically transparent: a warm solver returns
+// bit-identical verdicts, models, defect firings, and fuel accounting
+// to a cold one. What warm state buys is wall-clock time when
+// consecutive solves share structure — exactly the shape semantic
+// fusion produces, where every variant of a seed pair shares almost
+// all of its assertions (and, because terms are hash-consed, shares
+// the term pointers too).
+type warmState struct {
+	// str is the string theory's literal-evaluation cache (see
+	// strings.Warm); the DFS hot path accounts for ~90% of campaign CPU.
+	str *strings.Warm
+	// rw memoizes top-level preprocess rewrites: input term → output
+	// term plus the defect sites that fired while rewriting it, so a
+	// hit replays the firings. Gated off while coverage tracking is on
+	// — probe hit counts must reflect the paths actually executed.
+	rw map[ast.Term]rwEntry
+}
+
+type rwEntry struct {
+	out   ast.Term
+	fired []Defect
+}
+
+func newWarmState() *warmState {
+	return &warmState{str: strings.NewWarm(), rw: map[ast.Term]rwEntry{}}
+}
+
+// ResetWarm drops all warm caches. The harness calls this at the start
+// of every seed family (and every corpus-vetting slot) so cache-hit
+// telemetry is a function of the task sequence alone, never of worker
+// scheduling — the invariant behind bit-identical campaigns at any
+// thread count.
+func (s *Solver) ResetWarm() {
+	if s.warm == nil {
+		return
+	}
+	s.warm.str.Reset()
+	s.warm.rw = map[ast.Term]rwEntry{}
+}
+
+// rewriteCached is the memoizing wrapper preprocess uses for its
+// top-level rewrite passes. Correctness relies on rewrite being a pure
+// function of (term, enabled defect set): it spends no fuel, mints no
+// fresh names, and records no telemetry — verified by rewrite_test's
+// defect table and the differential warm-vs-cold corpus test. Defect
+// firings are captured on a miss and replayed on a hit, so
+// Outcome.DefectsFired is identical either way.
+func (s *Solver) rewriteCached(t ast.Term) ast.Term {
+	w := s.warm
+	if w == nil || s.cfg.Coverage != nil {
+		return s.rewrite(t)
+	}
+	if e, ok := w.rw[t]; ok {
+		s.cfg.Telemetry.Inc(cRewriteMemoHits)
+		for _, d := range e.fired {
+			s.fired[d] = true
+		}
+		return e.out
+	}
+	// Run the rewrite against a scratch fired-set so the entry records
+	// exactly the sites this term fires, independent of what earlier
+	// rewrites in this solve already fired. The deferred merge keeps
+	// s.fired correct even when a crash-defect site panics mid-rewrite
+	// (the entry is then never stored, so replay never skips a crash).
+	saved := s.fired
+	s.fired = map[Defect]bool{}
+	defer func() {
+		for d := range s.fired {
+			saved[d] = true
+		}
+		s.fired = saved
+	}()
+	out := s.rewrite(t)
+	fired := make([]Defect, 0, len(s.fired))
+	for d := range s.fired {
+		//golint:allow map-range-render — fired is sorted by sortDefects immediately below (an in-module insertion sort the linter does not classify as a sorter)
+		fired = append(fired, d)
+	}
+	sortDefects(fired)
+	if len(w.rw) >= rewriteMemoMax {
+		w.rw = map[ast.Term]rwEntry{}
+	}
+	w.rw[t] = rwEntry{out: out, fired: fired}
+	s.cfg.Telemetry.Inc(cRewriteMemoMisses)
+	return out
+}
