@@ -35,6 +35,17 @@ echo "== go test -race (fault containment) =="
 go test -race -timeout 10m -run 'TestRunSolverInternalFault|TestHangDefect|TestSimplexHang|TestSyntheticPanic|TestFaultCampaign|TestArtifacts|TestWallTimeout' ./internal/harness/
 go test -race -timeout 5m ./internal/fuel/ ./internal/watchdog/
 
+echo "== go test -race (process backends) =="
+# The process-boundary suite full-length under the race detector: the
+# fakesolver fault matrix (hang ⇒ deadline kill + guaranteed reap,
+# crash capture with exit status and stderr, garbled/truncated output,
+# slow drip vs. deadline, transient flake healed by retry, circuit
+# breaker), plus the campaign-level cross-check oracle, degraded mode,
+# and backend reproducer bundles. The fakesolver fixture is built on
+# the fly by the tests — no binaries are checked in.
+go test -race -timeout 10m ./internal/backend/
+go test -race -timeout 10m -run 'TestCampaignHermeticCrossCheck|TestCampaignProcessBackendHang|TestCampaignBackend' ./internal/harness/
+
 echo "== go test -race (second oracles) =="
 # Model-validation and mutation oracles full-length under the race
 # detector, including the negative oracle: the clean reference solver

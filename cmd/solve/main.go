@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] [-validate] [-stats] file.smt2
+//	solve [-sut z3sim|cvc4sim] [-release trunk] [-fuel N] [-model] [-validate] [-expect V] [-stats] file.smt2
 //	solve -incremental [flags] a.smt2 b.smt2 ...
 //
 // A solve that exhausts its deterministic step budget prints "timeout",
 // the analogue of a real solver hitting its time limit.
+//
+// -expect compares the verdict against V and exits 3 on mismatch. V is
+// normalized by the same parser the cross-check backends use on
+// external solver output, so it tolerates case, CRLF, surrounding
+// whitespace, and `;` comment lines — a captured solver transcript can
+// be passed verbatim.
 //
 // With -incremental, each script is pushed as an assertion frame on
 // top of the previous ones and checked — script k's verdict is for the
@@ -27,6 +33,7 @@ import (
 	"sort"
 
 	"repro/internal/ast"
+	"repro/internal/backend"
 	"repro/internal/bugdb"
 	"repro/internal/eval"
 	"repro/internal/harness"
@@ -40,6 +47,7 @@ func main() {
 	release := flag.String("release", "trunk", "SUT release version")
 	showModel := flag.Bool("model", false, "print the model on sat")
 	validate := flag.Bool("validate", false, "on sat, evaluate the model against the input asserts; exit 3 if it fails")
+	expect := flag.String("expect", "", "expected verdict (sat/unsat/unknown/timeout, any case/decoration); exit 3 on mismatch")
 	stats := flag.Bool("stats", false, "print the solve's step-counter summary (decisions, pivots, DFS nodes, …) to stderr")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget (0 = default, negative = unlimited)")
 	incremental := flag.Bool("incremental", false, "treat the arguments as a sequence of scripts: push each as an assertion frame, check after every one, and reuse solver state throughout")
@@ -112,6 +120,17 @@ func main() {
 	if *validate && out.Result == solver.ResSat {
 		if ok, reason := harness.ValidateModel(script, out.Model); !ok {
 			fmt.Fprintln(os.Stderr, "; invalid model:", reason)
+			os.Exit(3)
+		}
+	}
+	if *expect != "" {
+		want, ok := backend.ParseVerdict(*expect)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "error: -expect %q contains no verdict token\n", *expect)
+			os.Exit(2)
+		}
+		if got := backend.FromResult(out.Result); got != want {
+			fmt.Fprintf(os.Stderr, "; expected %s, got %s\n", want, got)
 			os.Exit(3)
 		}
 	}

@@ -9,8 +9,21 @@
 //	        [-mode fusion|mutate|both] [-nomodelcheck]
 //	        [-concat] [-outdir bugs/] [-artifacts artifacts/]
 //	        [-fuel 10000000] [-walltimeout 0]
+//	        [-backend cvc4sim@1.5] [-backend 'z3=/usr/bin/z3 -in']
+//	        [-backend-timeout 10s] [-backend-retries 2] [-backend-breaker 5]
 //	        [-metrics metrics.prom] [-trace trace.jsonl]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The repeatable -backend flag layers a differential cross-check
+// oracle over the campaign. Two forms are accepted:
+//
+//	sut[@release]        — a hermetic in-process backend (z3sim or
+//	    cvc4sim), deterministic and thread-count invariant
+//	name=/path [args]    — an external SMT-LIB solver binary, driven
+//	    over stdin/stdout under fault containment: per-invocation
+//	    deadline, retry with backoff, circuit breaker. A persistently
+//	    failing binary is quarantined and the campaign completes in
+//	    degraded mode, reported per backend and via exit status 4.
 package main
 
 import (
@@ -22,7 +35,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"repro/internal/backend"
 	"repro/internal/bugdb"
 	"repro/internal/gen"
 	"repro/internal/harness"
@@ -31,6 +46,48 @@ import (
 	"repro/internal/solver"
 	"repro/internal/telemetry"
 )
+
+// backendFlags collects the repeatable -backend values.
+type backendFlags []string
+
+func (b *backendFlags) String() string { return strings.Join(*b, ",") }
+
+func (b *backendFlags) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
+// parseBackendSpec turns one -backend value into a Spec. "sut[@release]"
+// selects a hermetic in-process backend; "name=/path [args]" an
+// external solver binary under process supervision.
+func parseBackendSpec(v string, fuel int64, timeout time.Duration, retries, breaker int) (backend.Spec, error) {
+	if name, cmdline, ok := strings.Cut(v, "="); ok {
+		name = strings.TrimSpace(name)
+		argv := strings.Fields(cmdline)
+		if name == "" || len(argv) == 0 {
+			return backend.Spec{}, fmt.Errorf("backend %q: want name=/path/to/solver [args]", v)
+		}
+		if retries == 0 {
+			// The config treats 0 as "unset, use the default"; at the
+			// CLI an explicit 0 means no retries.
+			retries = -1
+		}
+		return backend.ProcessSpec(backend.ProcessConfig{
+			Name:             name,
+			Path:             argv[0],
+			Args:             argv[1:],
+			Timeout:          timeout,
+			Retries:          retries,
+			BreakerThreshold: breaker,
+		}), nil
+	}
+	sut, release, _ := strings.Cut(v, "@")
+	switch bugdb.SUT(sut) {
+	case bugdb.Z3Sim, bugdb.CVC4Sim:
+		return harness.SimBackendSpec(bugdb.SUT(sut), release, fuel), nil
+	}
+	return backend.Spec{}, fmt.Errorf("backend %q: not a simulated solver (z3sim, cvc4sim) and no =/path given", v)
+}
 
 func main() {
 	sutName := flag.String("sut", "z3sim", "solver under test (z3sim or cvc4sim)")
@@ -51,7 +108,22 @@ func main() {
 	outdir := flag.String("outdir", "", "write reduced bug-triggering formulas here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memprofile := flag.String("memprofile", "", "write an allocation profile here at exit")
+	var backends backendFlags
+	flag.Var(&backends, "backend", "cross-check backend: sut[@release] (hermetic) or name=/path [args] (external binary); repeatable")
+	backendTimeout := flag.Duration("backend-timeout", 10*time.Second, "per-invocation wall-clock deadline for external backends")
+	backendRetries := flag.Int("backend-retries", 2, "transient-failure retries per external backend check (0 = none)")
+	backendBreaker := flag.Int("backend-breaker", 5, "consecutive hard failures before an external backend is quarantined")
 	flag.Parse()
+
+	var backendSpecs []backend.Spec
+	for _, v := range backends {
+		spec, err := parseBackendSpec(v, *fuel, *backendTimeout, *backendRetries, *backendBreaker)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		backendSpecs = append(backendSpecs, spec)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -112,6 +184,7 @@ func main() {
 		Fuel:              *fuel,
 		WallTimeout:       *wallTimeout,
 		ArtifactDir:       *artifacts,
+		Backends:          backendSpecs,
 		Telemetry:         tracker,
 		Trace:             trace,
 	})
@@ -152,6 +225,23 @@ func main() {
 			writeReduced(*outdir, b, *fuel)
 		}
 	}
+	for _, rep := range res.Backends {
+		state := "ok"
+		if rep.Quarantined {
+			state = "QUARANTINED"
+		}
+		fmt.Printf("backend %-20s checks: %d   sat/unsat/unknown: %d/%d/%d   timeouts: %d   crashes: %d   garbled: %d   retries: %d   disagreements: %d   skipped: %d   [%s]\n",
+			rep.Name, rep.Checks, rep.Sat, rep.Unsat, rep.Unknowns,
+			rep.Timeouts, rep.Crashes, rep.Garbled, rep.Retries,
+			rep.Disagreements, rep.Skipped, state)
+	}
+	for _, f := range res.BackendFindings {
+		fmt.Printf("  [backend-%s] %-20s logic=%-10s oracle=%-5s observed=%-11s %s\n",
+			f.Kind, f.Backend, f.Logic, f.Oracle, f.Observed, f.Reason)
+	}
+	if res.Degraded() {
+		fmt.Println("WARNING: campaign completed in degraded mode: one or more backends quarantined by the circuit breaker")
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -165,6 +255,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "memprofile:", err)
 			os.Exit(1)
 		}
+	}
+
+	if res.Degraded() {
+		// Exit 4 distinguishes "completed but degraded" from usage and
+		// campaign errors. os.Exit skips defers, so flush the CPU profile
+		// explicitly (a no-op when profiling is off).
+		pprof.StopCPUProfile()
+		os.Exit(4)
 	}
 }
 

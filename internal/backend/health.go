@@ -1,0 +1,74 @@
+package backend
+
+import "sync"
+
+// Health is one backend's shared supervision state: the circuit
+// breaker over consecutive hard failures. All per-worker instances
+// built from one Spec share one Health, so the breaker sees the
+// backend's global failure streak, not a per-worker slice of it.
+//
+// The breaker exists so a wedged binary degrades the campaign instead
+// of stalling it: after Threshold consecutive hard failures (timeout,
+// crash, garbled — every classification that consumed the full
+// deadline or retry budget without producing a verdict), Allow starts
+// returning false, checks are skipped with Verdict Quarantined, and
+// the campaign finishes with an explicit per-backend health summary.
+// Any parsed verdict resets the streak.
+//
+// Health is intentionally wall-clock- and scheduling-dependent (the
+// failures it counts are), so it is only attached to process backends;
+// hermetic backends keep the campaign's determinism guarantees and
+// carry a nil Health.
+type Health struct {
+	mu        sync.Mutex
+	threshold int
+	streak    int
+	open      bool
+}
+
+// NewHealth returns breaker state that opens after threshold
+// consecutive hard failures (values < 1 mean 1).
+func NewHealth(threshold int) *Health {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Health{threshold: threshold}
+}
+
+// Allow reports whether a check may run. A nil Health always allows.
+func (h *Health) Allow() bool {
+	if h == nil {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.open
+}
+
+// Record folds one classified check into the breaker state.
+func (h *Health) Record(v Verdict) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch v {
+	case Timeout, Crash, Garbled:
+		h.streak++
+		if h.streak >= h.threshold {
+			h.open = true
+		}
+	case Sat, Unsat, Unknown:
+		h.streak = 0
+	}
+}
+
+// Quarantined reports whether the breaker is open.
+func (h *Health) Quarantined() bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.open
+}

@@ -1,0 +1,42 @@
+package backend
+
+import "strings"
+
+// ParseVerdict scans raw solver output for a verdict token. The
+// normalization is deliberately forgiving about everything real solvers
+// and shell plumbing do to the byte stream — CRLF line endings,
+// trailing whitespace, banner/diagnostic lines, `;` comment lines,
+// and any letter case — while staying strict about the token itself:
+// a line must read exactly sat, unsat, unknown, or timeout after
+// trimming, so truncated output ("uns") and prose ("unsatisfiable")
+// never alias to a verdict.
+//
+// Lines that are neither comments nor verdict tokens are skipped: real
+// solvers interleave `(error ...)` diagnostics before the verdict and
+// models after it. Output with no verdict token on any line parses to
+// (0, false) and is classified garbled by the caller.
+func ParseVerdict(raw string) (Verdict, bool) {
+	for len(raw) > 0 {
+		line := raw
+		if i := strings.IndexByte(raw, '\n'); i >= 0 {
+			line, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		line = strings.TrimSpace(line) // eats the \r of CRLF endings too
+		if line == "" || line[0] == ';' {
+			continue
+		}
+		switch strings.ToLower(line) {
+		case "sat":
+			return Sat, true
+		case "unsat":
+			return Unsat, true
+		case "unknown":
+			return Unknown, true
+		case "timeout":
+			return Timeout, true
+		}
+	}
+	return Unknown, false
+}

@@ -1,0 +1,71 @@
+package backend
+
+import "testing"
+
+// TestParseVerdict drives the shared output normalizer through the
+// byte streams real solvers and shell plumbing produce: CRLF endings,
+// trailing whitespace, comment and banner lines, mixed case, models
+// after the verdict, diagnostics before it — plus the garbled and
+// partial outputs that must never alias to a verdict.
+func TestParseVerdict(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  string
+		want Verdict
+		ok   bool
+	}{
+		{"plain sat", "sat\n", Sat, true},
+		{"plain unsat", "unsat\n", Unsat, true},
+		{"plain unknown", "unknown\n", Unknown, true},
+		{"timeout token", "timeout\n", Timeout, true},
+		{"no trailing newline", "unsat", Unsat, true},
+		{"crlf", "sat\r\n", Sat, true},
+		{"upper case crlf", "UNSAT\r\n", Unsat, true},
+		{"mixed case", "Sat\n", Sat, true},
+		{"leading and trailing spaces", "   unsat   \n", Unsat, true},
+		{"tab padding", "\tsat\t\n", Sat, true},
+		{"comment lines before verdict", "; banner\n;; warming up\nunsat\n", Unsat, true},
+		{"comment-only prefix crlf", "; fakesolver v1.0\r\n  SAT  \r\n(model)\r\n", Sat, true},
+		{"diagnostics before verdict", "(error \"unbound symbol\")\nunsat\n", Unsat, true},
+		{"model after verdict", "sat\n(\n  (define-fun x () Int 3)\n)\n", Sat, true},
+		{"blank lines", "\n\n\nsat\n", Sat, true},
+
+		{"empty", "", Unknown, false},
+		{"whitespace only", "  \r\n\t\n", Unknown, false},
+		{"comment only", "; nothing to see\n", Unknown, false},
+		{"truncated token", "uns", Unknown, false},
+		{"prose is not a verdict", "unsatisfiable\n", Unknown, false},
+		{"superstring", "satisfied\n", Unknown, false},
+		{"garbage", "segmentation fault dumped core\n", Unknown, false},
+		{"token inside sentence", "the answer is sat today\n", Unknown, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseVerdict(tc.raw)
+			if ok != tc.ok {
+				t.Fatalf("ParseVerdict(%q) ok = %v, want %v", tc.raw, ok, tc.ok)
+			}
+			if ok && got != tc.want {
+				t.Fatalf("ParseVerdict(%q) = %v, want %v", tc.raw, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	pairs := map[Verdict]string{
+		Sat: "sat", Unsat: "unsat", Unknown: "unknown", Timeout: "timeout",
+		Crash: "crash", Garbled: "garbled", Fault: "fault", Quarantined: "quarantined",
+	}
+	for v, want := range pairs {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+	if !Sat.Definite() || !Unsat.Definite() {
+		t.Error("sat/unsat must be definite")
+	}
+	if Unknown.Definite() || Timeout.Definite() || Crash.Definite() || Garbled.Definite() {
+		t.Error("only sat/unsat are definite")
+	}
+}

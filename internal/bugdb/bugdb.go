@@ -41,6 +41,13 @@ const (
 	// the paper's equisatisfiability oracle; found only by the
 	// harness's model-validation oracle.
 	InvalidModel BugType = "invalid-model"
+	// Disagreement marks a cross-check finding: a backend's definite
+	// verdict contradicts the known-status oracle. Backend findings are
+	// never catalogued defects — the type exists for triage labels.
+	Disagreement BugType = "disagreement"
+	// Garbled marks a backend that completed but produced no parseable
+	// verdict (truncated, nonsense, or persistently empty output).
+	Garbled BugType = "garbled"
 )
 
 // Entry is one catalogue row.

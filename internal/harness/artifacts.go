@@ -60,6 +60,17 @@ type Manifest struct {
 	// InjectDefects mirrors Campaign.InjectDefects so fault-injection
 	// findings rebuild the same augmented solver on replay.
 	InjectDefects []string `json:"inject_defects,omitempty"`
+
+	// Backend identity, set on cross-check findings (bug_type
+	// "backend-*"): which backend disagreed or failed, its full command
+	// line, and the process post-mortem. Recorded so Replay can state
+	// which backend a bundle implicates even when the binary is no
+	// longer available on the replaying machine.
+	Backend        string   `json:"backend,omitempty"`
+	BackendArgv    []string `json:"backend_argv,omitempty"`
+	BackendExit    int      `json:"backend_exit,omitempty"`
+	BackendStderr  string   `json:"backend_stderr,omitempty"`
+	BackendRetries int      `json:"backend_retries,omitempty"`
 }
 
 // artifactWriter persists reproducer bundles under one directory,
@@ -77,11 +88,13 @@ func newArtifactWriter(dir string) *artifactWriter {
 	return &artifactWriter{dir: dir, written: map[string]bool{}}
 }
 
-// bugHash identifies a bundle: same SUT, defect, and fused text hash to
-// the same directory, so duplicate triggers do not pile up bundles.
-func bugHash(sut, release, defect, fusedText string) string {
+// bugHash identifies a bundle: same SUT, observation kind, defect,
+// backend, and fused text hash to the same directory, so duplicate
+// triggers do not pile up bundles, while a SUT finding and a backend
+// finding on the same fused script get distinct bundles.
+func bugHash(sut, release, obs, fusedText string) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%s|%s", sut, release, defect, fusedText)
+	fmt.Fprintf(h, "%s|%s|%s|%s", sut, release, obs, fusedText)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -94,7 +107,7 @@ func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtl
 		return ""
 	}
 	fusedText := smtlib.Print(script)
-	key := bugHash(m.SUT, m.Release, m.Defect+m.FaultMsg, fusedText)
+	key := bugHash(m.SUT, m.Release, m.BugType+"|"+m.Defect+"|"+m.FaultMsg+"|"+m.Backend, fusedText)
 	if w.written[key] {
 		return ""
 	}
@@ -156,6 +169,14 @@ type ReplayReport struct {
 	// again (vacuously true for quarantine bundles with no defect).
 	DefectFired bool
 	Observed    solver.Result
+	// Backend names the cross-check backend a backend-finding bundle
+	// implicates ("" for SUT findings). Replay regenerates the fused
+	// test and re-runs the SUT, but never re-invokes the backend — the
+	// binary may be absent on the replaying machine — so for backend
+	// bundles ResultMatches is vacuously true and the manifest's
+	// backend_argv/backend_exit/backend_stderr fields carry the
+	// original observation.
+	Backend string
 }
 
 // Exact reports a fully faithful reproduction.
@@ -202,15 +223,23 @@ func Replay(bundleDir string) (ReplayReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	out := runTask(cfg, pools, sut, nil, m.Iteration)
+	out := runTask(cfg, pools, sut, nil, nil, m.Iteration)
 	if !out.tested {
 		return rep, fmt.Errorf("artifacts: task (seed=%d logic=%s iter=%d) produced no fused test on replay", m.CampaignSeed, m.Logic, m.Iteration)
 	}
 	rep.Observed = out.run.Result
+	rep.Backend = m.Backend
 	rep.FusedMatches = smtlib.Print(out.testScript()) == string(wantFused)
-	rep.ResultMatches = out.run.Result.String() == m.Observed ||
-		(out.run.Crashed && m.Observed == "crash") ||
-		(out.run.InternalFault && m.Observed == "internal-fault")
+	if m.Backend != "" {
+		// A backend-finding bundle: the observed verdict belongs to the
+		// cross-check backend, which Replay does not re-invoke. The SUT
+		// replay above still verifies the fused test regenerates.
+		rep.ResultMatches = true
+	} else {
+		rep.ResultMatches = out.run.Result.String() == m.Observed ||
+			(out.run.Crashed && m.Observed == "crash") ||
+			(out.run.InternalFault && m.Observed == "internal-fault")
+	}
 	rep.DefectFired = m.Defect == ""
 	for _, d := range out.run.DefectsFired {
 		if string(d) == m.Defect {

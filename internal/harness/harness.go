@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/backend"
 	"repro/internal/bugdb"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -142,6 +143,16 @@ type Campaign struct {
 	// InjectDefects adds defects beyond the release's own catalogue
 	// entries (fault-injection testing of the harness itself).
 	InjectDefects []solver.Defect
+	// Backends configures cross-check solvers run on every tested
+	// script in addition to the SUT: each backend's verdict is compared
+	// against the known-status oracle, layering a differential oracle
+	// over the campaign. Hermetic (in-process) backends preserve the
+	// thread-count invariance; external process backends — supervised,
+	// retried, and circuit-broken by internal/backend — forfeit it the
+	// same way WallTimeout does, and a persistently failing binary
+	// degrades the campaign (its checks are skipped) instead of
+	// stalling it.
+	Backends []backend.Spec
 	// Telemetry, when non-nil, receives the campaign's aggregated
 	// metrics: engine step counters merged per task plus the funnel
 	// counters. All writes happen in the in-order classification stage,
@@ -201,6 +212,14 @@ type Result struct {
 	// Artifacts lists reproducer bundle directories written this
 	// campaign (empty unless Campaign.ArtifactDir is set).
 	Artifacts []string
+	// Backends holds one health summary per configured cross-check
+	// backend, in Campaign.Backends order.
+	Backends []BackendReport
+	// BackendFindings lists the deduplicated cross-check observations:
+	// verdict disagreements and contained backend failures. They are
+	// kept apart from Bugs — they implicate a backend solver, not a
+	// catalogued defect of the SUT.
+	BackendFindings []BackendFinding
 }
 
 // BugByDefect returns the bug for a defect, if found.
@@ -335,6 +354,10 @@ type taskOutcome struct {
 	// delta holds the task's engine-counter increments (empty on a
 	// wall-timeout: the abandoned goroutine still owns that tracker).
 	delta telemetry.Snapshot
+	// backendRuns holds the cross-check outputs, one per configured
+	// backend (nil when the task was not tested, was quarantined, or
+	// the campaign has no backends).
+	backendRuns []backend.Output
 }
 
 // testScript is the script that was handed to the solver under test.
@@ -398,6 +421,9 @@ func Run(cfg Campaign) (*Result, error) {
 	if cfg.ConcatOnly && cfg.Mode != ModeFusion {
 		return nil, fmt.Errorf("harness: ConcatOnly requires fusion mode, got %q", cfg.Mode)
 	}
+	if err := validateBackends(cfg.Backends); err != nil {
+		return nil, err
+	}
 
 	rec := &recorder{tr: cfg.Telemetry}
 	if cfg.Trace != nil {
@@ -421,6 +447,21 @@ func Run(cfg Campaign) (*Result, error) {
 		suts[w] = sut
 	}
 
+	// Cross-check backends follow the same per-worker instance model as
+	// SUTs: instances are not required to be concurrency-safe, but all
+	// instances of one external backend share its Spec's Health, so the
+	// circuit breaker counts the backend's global failure streak.
+	workerBackends := make([][]backend.Backend, cfg.Threads)
+	for w := range workerBackends {
+		for _, spec := range cfg.Backends {
+			b, err := spec.New()
+			if err != nil {
+				return nil, fmt.Errorf("harness: backend %q: %w", spec.Name, err)
+			}
+			workerBackends[w] = append(workerBackends[w], b)
+		}
+	}
+
 	pools, err := buildCorpus(cfg, suts, trackers, rec)
 	if err != nil {
 		return nil, err
@@ -441,12 +482,20 @@ func Run(cfg Campaign) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
-		go func(sut *solver.Solver, tr *telemetry.Tracker) {
+		go func(sut *solver.Solver, bks []backend.Backend, tr *telemetry.Tracker) {
 			defer wg.Done()
 			for fam := range taskCh {
 				sut.ResetWarm()
+				// Hermetic backends carry the same warm-cache contract as
+				// the SUT: reset at family boundaries, so their verdict
+				// stream is a function of the family alone.
+				for _, b := range bks {
+					if r, ok := b.(backend.Resetter); ok {
+						r.ResetWarm()
+					}
+				}
 				for _, id := range fam {
-					out := runTask(cfg, pools, sut, tr, id)
+					out := runTask(cfg, pools, sut, bks, tr, id)
 					if out.wallTimeout {
 						// The watchdog abandoned a solve mid-flight: that
 						// solver instance may hold inconsistent state, so
@@ -464,7 +513,7 @@ func Run(cfg Campaign) (*Result, error) {
 					outCh <- out
 				}
 			}
-		}(suts[w], trackers[w])
+		}(suts[w], workerBackends[w], trackers[w])
 	}
 	go func() {
 		for _, fam := range buildFamilies(cfg, total) {
@@ -478,6 +527,11 @@ func Run(cfg Campaign) (*Result, error) {
 	// In-order classification: outcomes arrive in completion order but
 	// are applied in task order, buffering only the out-of-order window.
 	res := &Result{}
+	res.Backends = make([]BackendReport, len(cfg.Backends))
+	for i, spec := range cfg.Backends {
+		res.Backends[i] = BackendReport{Name: spec.Name, Hermetic: spec.Hermetic}
+	}
+	bt := &backendTriage{seen: map[bkKey]bool{}}
 	found := map[solver.Defect]bool{}
 	pending := map[int]taskOutcome{}
 	next := 0
@@ -495,11 +549,12 @@ func Run(cfg Campaign) (*Result, error) {
 			delete(pending, next)
 			next++
 			prev := countsOf(res)
-			applyOutcome(res, found, cfg, aw, cur)
+			applyOutcome(res, found, cfg, aw, bt, cur)
 			rec.task(cfg, cur, prev, res)
 		}
 	}
 	sortBugs(res.Bugs)
+	finishBackends(res, cfg)
 	if aw != nil {
 		if aw.err != nil {
 			return nil, fmt.Errorf("harness: writing artifacts: %w", aw.err)
@@ -517,9 +572,9 @@ func Run(cfg Campaign) (*Result, error) {
 // random in the task flows from its own deterministic RNG, and the mode
 // of an iteration is a pure function of (Mode, iter), so campaigns stay
 // bit-identical for any thread count.
-func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, tr *telemetry.Tracker, id int) taskOutcome {
+func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, bks []backend.Backend, tr *telemetry.Tracker, id int) taskOutcome {
 	before := tr.Snapshot()
-	out := runTaskInner(cfg, pools, sut, id)
+	out := runTaskInner(cfg, pools, sut, bks, id)
 	if !out.wallTimeout {
 		// On a wall-timeout the abandoned goroutine may still be writing
 		// tr, so the tracker is surrendered with it instead of read.
@@ -528,7 +583,7 @@ func runTask(cfg Campaign, pools []*seedPool, sut *solver.Solver, tr *telemetry.
 	return out
 }
 
-func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) taskOutcome {
+func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, bks []backend.Backend, id int) taskOutcome {
 	logicIdx, iter := id/cfg.Iterations, id%cfg.Iterations
 	logic := cfg.Logics[logicIdx]
 	rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, logic, iter)))
@@ -580,13 +635,21 @@ func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, id int) t
 			return taskOutcome{id: id, tested: true, fused: out.fused,
 				mutant: out.mutant, ancestors: out.ancestors, wallTimeout: true}
 		}
-		return out
+	} else {
+		out.run = RunSolver(sut, script)
 	}
-	out.run = RunSolver(sut, script)
+	// Cross-check backends run after a completed SUT solve, on the
+	// worker, so external solver latency overlaps across workers. A
+	// quarantined task (internal fault) is withdrawn from all oracles,
+	// the differential one included. Process backends enforce their own
+	// deadline; the watchdog never wraps them.
+	if !out.run.InternalFault {
+		out.backendRuns = runBackends(bks, script)
+	}
 	return out
 }
 
-func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, out taskOutcome) {
+func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, bt *backendTriage, out taskOutcome) {
 	if out.invalid {
 		res.InvalidInputs++
 		return
@@ -615,6 +678,7 @@ func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *a
 	}
 	res.Tests++
 	classify(res, found, cfg, aw, out)
+	classifyBackends(res, cfg, aw, bt, out)
 }
 
 // manifestFor assembles the replay coordinates of one task outcome.

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/bugdb"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -200,7 +201,9 @@ func TestBugAncestorsRecorded(t *testing.T) {
 // guarantee: a campaign's findings are bit-identical for any Threads
 // value — parallelism is a pure speedup, not a different experiment.
 // The guarantee covers every campaign mode: fusion, mutation, and the
-// interleaved combination.
+// interleaved combination — and must survive hermetic cross-check
+// backends, whose reports, findings, and trace fields are part of the
+// invariant surface.
 func TestThreadCountInvariance(t *testing.T) {
 	for _, mode := range []CampaignMode{ModeFusion, ModeMutate, ModeBoth} {
 		t.Run(string(mode), func(t *testing.T) {
@@ -211,6 +214,7 @@ func TestThreadCountInvariance(t *testing.T) {
 				SeedPool:   8,
 				Seed:       42,
 				Mode:       mode,
+				Backends:   []backend.Spec{SimBackendSpec(bugdb.CVC4Sim, "1.5", 0)},
 			}
 			threadCounts := []int{1, 2, 4}
 			results := make([]*Result, len(threadCounts))
@@ -255,6 +259,14 @@ func TestThreadCountInvariance(t *testing.T) {
 				}
 				if !bytes.Equal(traces[i+1].Bytes(), traces[0].Bytes()) {
 					t.Errorf("Threads=%d JSONL trace differs from Threads=1", threads)
+				}
+				if !reflect.DeepEqual(r.Backends, ref.Backends) {
+					t.Errorf("Threads=%d backend reports differ from Threads=1:\n%+v\nvs\n%+v",
+						threads, r.Backends, ref.Backends)
+				}
+				if !reflect.DeepEqual(r.BackendFindings, ref.BackendFindings) {
+					t.Errorf("Threads=%d backend findings differ from Threads=1:\n%+v\nvs\n%+v",
+						threads, r.BackendFindings, ref.BackendFindings)
 				}
 				if len(r.Bugs) != len(ref.Bugs) {
 					t.Fatalf("Threads=%d found %d bugs, Threads=1 found %d",

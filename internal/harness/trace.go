@@ -89,6 +89,11 @@ type TraceRecord struct {
 	// deltas render to identical bytes.
 	FuelSpent int64            `json:"fuel_spent"`
 	Counters  map[string]int64 `json:"counters,omitempty"`
+
+	// Backends maps each cross-check backend's name to its classified
+	// verdict for this task (tested tasks with backends only). Map keys
+	// render sorted, so the byte stream stays deterministic.
+	Backends map[string]string `json:"backends,omitempty"`
 }
 
 // ReadTrace parses a JSONL trace file written via Campaign.Trace.
@@ -132,15 +137,30 @@ func DecodeTrace(r io.Reader) ([]TraceRecord, error) {
 type resCounts struct {
 	tests, unknowns, timeouts, quarantined int
 	invalid, duplicates, refDisagree, bugs int
+	// Backend cross-check aggregates, summed over Result.Backends.
+	bkChecks, bkSkipped, bkTimeouts, bkCrashes int
+	bkGarbled, bkFaults, bkRetries, bkDisagree int
+	bkFindings                                 int
 }
 
 func countsOf(r *Result) resCounts {
-	return resCounts{
+	c := resCounts{
 		tests: r.Tests, unknowns: r.Unknowns, timeouts: r.Timeouts,
 		quarantined: r.Quarantined, invalid: r.InvalidInputs,
 		duplicates: r.Duplicates, refDisagree: r.ReferenceDisagreements,
-		bugs: len(r.Bugs),
+		bugs: len(r.Bugs), bkFindings: len(r.BackendFindings),
 	}
+	for _, b := range r.Backends {
+		c.bkChecks += b.Checks
+		c.bkSkipped += b.Skipped
+		c.bkTimeouts += b.Timeouts
+		c.bkCrashes += b.Crashes
+		c.bkGarbled += b.Garbled
+		c.bkFaults += b.Faults
+		c.bkRetries += b.Retries
+		c.bkDisagree += b.Disagreements
+	}
+	return c
 }
 
 // recorder aggregates campaign telemetry and emits the JSONL trace.
@@ -198,6 +218,15 @@ func (rc *recorder) task(cfg Campaign, out taskOutcome, prev resCounts, res *Res
 	rc.tr.Add(cfFindings, int64(cur.bugs-prev.bugs))
 	rc.tr.Add(cfDuplicates, int64(cur.duplicates-prev.duplicates))
 	rc.tr.Add(cfRefDisagree, int64(cur.refDisagree-prev.refDisagree))
+	rc.tr.Add(cbChecks, int64(cur.bkChecks-prev.bkChecks))
+	rc.tr.Add(cbSkipped, int64(cur.bkSkipped-prev.bkSkipped))
+	rc.tr.Add(cbTimeouts, int64(cur.bkTimeouts-prev.bkTimeouts))
+	rc.tr.Add(cbCrashes, int64(cur.bkCrashes-prev.bkCrashes))
+	rc.tr.Add(cbGarbled, int64(cur.bkGarbled-prev.bkGarbled))
+	rc.tr.Add(cbFaults, int64(cur.bkFaults-prev.bkFaults))
+	rc.tr.Add(cbRetries, int64(cur.bkRetries-prev.bkRetries))
+	rc.tr.Add(cbDisagree, int64(cur.bkDisagree-prev.bkDisagree))
+	rc.tr.Add(cbFindings, int64(cur.bkFindings-prev.bkFindings))
 	if cur.tests > prev.tests {
 		rc.tr.Observe(hTaskFuel, fuelSpent)
 	}
@@ -255,6 +284,12 @@ func (rc *recorder) task(cfg Campaign, out taskOutcome, prev resCounts, res *Res
 		}
 		for _, d := range out.run.DefectsFired {
 			rec.DefectsFired = append(rec.DefectsFired, string(d))
+		}
+		if len(out.backendRuns) > 0 {
+			rec.Backends = make(map[string]string, len(out.backendRuns))
+			for i, o := range out.backendRuns {
+				rec.Backends[cfg.Backends[i].Name] = o.Verdict.String()
+			}
 		}
 	}
 	rec.Finding = cur.bugs > prev.bugs
