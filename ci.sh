@@ -52,6 +52,16 @@ echo "== go test -race (second oracles) =="
 # must produce zero invalid-model reports over the generator corpus.
 go test -race -timeout 10m -run 'TestModelValidationOracleFindsInjected|TestReferenceModelValidationClean|TestMutationCampaignFindsGuardCollapse' ./internal/harness/
 
+echo "== go test -race (campaign service) =="
+# Checkpoint/resume and shard/merge determinism suites plus the HTTP
+# control plane full-length under the race detector: kill-at-every-
+# frontier resume, chained pause/resume, K-way shard merge with
+# results, metrics, traces, and reproducer bundles byte-compared,
+# fail-closed document corruption, concurrent API clients, spool
+# reload, and goroutine-leak checks.
+go test -race -timeout 15m -run 'TestCheckpoint|TestShard|TestMerge|FuzzCheckpointRoundTrip' ./internal/harness/
+go test -race -timeout 10m ./internal/service/
+
 echo "== go test -race (telemetry) =="
 # The telemetry layer full-length under the race detector: per-worker
 # trackers merged by the in-order classification stage, funnel totals
@@ -69,6 +79,46 @@ grep -q '^yy_funnel_solved_total [1-9]' "$tmpmetrics" || {
     exit 1
 }
 rm -f "$tmpmetrics"
+
+echo "== campaign service smoke =="
+# End-to-end through the CLI: a campaign killed at a checkpoint and
+# resumed with a different worker count, and the same campaign split
+# into 3 shards (each with its own worker count) and merged, must both
+# reproduce the uninterrupted run byte-for-byte — result fingerprint,
+# Prometheus metrics, JSONL trace, and reproducer bundle tree.
+tmpsvc=$(mktemp -d)
+# A built binary, not `go run`: the pause leg's exit code 3 is part of
+# the checked contract, and `go run` collapses child exit codes to 1.
+go build -o "$tmpsvc/yy" ./cmd/yinyang
+svcargs="-sut z3sim -logics QF_LIA,QF_S -iters 10 -pool 4 -seed 7 -backend cvc4sim"
+"$tmpsvc/yy" $svcargs -threads 2 -artifacts "$tmpsvc/ref-art" \
+    -metrics "$tmpsvc/ref.prom" -trace "$tmpsvc/ref.jsonl" -fingerprint "$tmpsvc/ref.fp" >/dev/null
+set +e
+"$tmpsvc/yy" $svcargs -threads 1 -checkpoint "$tmpsvc/cp.json" -stop-after 7 \
+    -artifacts "$tmpsvc/cp-art" -metrics "$tmpsvc/cp.prom" -trace "$tmpsvc/cp.jsonl" >/dev/null
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "campaign smoke: pause leg exited $rc, want 3" >&2; exit 1; }
+"$tmpsvc/yy" $svcargs -threads 3 -checkpoint "$tmpsvc/cp.json" \
+    -artifacts "$tmpsvc/cp-art" -metrics "$tmpsvc/cp.prom" -trace "$tmpsvc/cp.jsonl" \
+    -fingerprint "$tmpsvc/cp.fp" >/dev/null
+cmp "$tmpsvc/ref.fp" "$tmpsvc/cp.fp"
+cmp "$tmpsvc/ref.prom" "$tmpsvc/cp.prom"
+cmp "$tmpsvc/ref.jsonl" "$tmpsvc/cp.jsonl"
+diff -r "$tmpsvc/ref-art" "$tmpsvc/cp-art" >/dev/null
+for s in 0 1 2; do
+    "$tmpsvc/yy" $svcargs -threads $((s + 1)) -shard $s/3 \
+        -artifacts "$tmpsvc/sh$s-art" -metrics "$tmpsvc/sh$s.prom" \
+        -trace "$tmpsvc/sh$s.jsonl" -envelope "$tmpsvc/sh$s.json" >/dev/null
+done
+"$tmpsvc/yy" -merge -artifacts "$tmpsvc/merged-art" -metrics "$tmpsvc/merged.prom" \
+    -trace "$tmpsvc/merged.jsonl" -fingerprint "$tmpsvc/merged.fp" \
+    "$tmpsvc/sh0.json" "$tmpsvc/sh1.json" "$tmpsvc/sh2.json" >/dev/null
+cmp "$tmpsvc/ref.fp" "$tmpsvc/merged.fp"
+cmp "$tmpsvc/ref.prom" "$tmpsvc/merged.prom"
+cmp "$tmpsvc/ref.jsonl" "$tmpsvc/merged.jsonl"
+diff -r "$tmpsvc/ref-art" "$tmpsvc/merged-art" >/dev/null
+rm -rf "$tmpsvc"
 
 echo "== static analysis =="
 # The typed, call-graph-aware Go linter must be clean over the whole
@@ -91,6 +141,9 @@ echo "== fuzz smoke =="
 go test -fuzz='^FuzzParsePrintRoundTrip$' -fuzztime=10s ./internal/smtlib/
 go test -fuzz='^FuzzEvalTotal$' -fuzztime=10s ./internal/eval/
 go test -fuzz='^FuzzAnalyze$' -fuzztime=10s ./internal/analysis/
+# -run='^$' skips the harness's (slow) unit tests here; the race
+# stages above already ran them.
+go test -run='^$' -fuzz='^FuzzCheckpointRoundTrip$' -fuzztime=10s ./internal/harness/
 
 echo "== bench gate =="
 # Short-mode regression gate: runs the fast benchmarks at a fixed op

@@ -12,7 +12,12 @@
 //	        [-backend cvc4sim@1.5] [-backend 'z3=/usr/bin/z3 -in']
 //	        [-backend-timeout 10s] [-backend-retries 2] [-backend-breaker 5]
 //	        [-metrics metrics.prom] [-trace trace.jsonl]
+//	        [-checkpoint cp.json] [-stop-after N] [-shard I/K]
+//	        [-envelope env.json] [-fingerprint fp.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	yinyang -merge [-artifacts merged/] [-metrics m.prom] [-trace t.jsonl]
+//	        [-fingerprint fp.json] envelope.json...
+//	yinyang -serve :8080 [-spool dir]
 //
 // The repeatable -backend flag layers a differential cross-check
 // oracle over the campaign. Two forms are accepted:
@@ -24,12 +29,34 @@
 //	    deadline, retry with backoff, circuit breaker. A persistently
 //	    failing binary is quarantined and the campaign completes in
 //	    degraded mode, reported per backend and via exit status 4.
+//
+// Campaign lifecycle flags:
+//
+//	-checkpoint path     durable pause/resume. If the file exists the
+//	    campaign resumes from it (campaign-shape flags are ignored —
+//	    the checkpoint carries the config); otherwise a fresh campaign
+//	    starts and, if paused, checkpoints there. -stop-after N pauses
+//	    after N classified tasks. A paused run exits 3.
+//	-shard I/K           run shard I of K (task ids ≡ I mod K); pair
+//	    with -envelope and fold the K envelopes with -merge.
+//	-envelope path       write the completed campaign's sealed result
+//	    envelope (the -merge input).
+//	-fingerprint path    write the canonical result fingerprint, a
+//	    byte-comparable serialization of everything observed.
+//	-merge               fold shard envelopes (positional args) into
+//	    one campaign result; -artifacts names the merged bundle dir.
+//	-serve addr          run the campaign control-plane HTTP service;
+//	    -spool makes jobs durable across restarts.
+//
+// Exit status: 0 success, 1 campaign or I/O error, 2 flag misuse,
+// 3 paused at a checkpoint, 4 completed in degraded mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,14 +64,22 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/backend"
 	"repro/internal/bugdb"
-	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/reduce"
+	"repro/internal/service"
 	"repro/internal/smtlib"
 	"repro/internal/solver"
 	"repro/internal/telemetry"
+)
+
+// Exit codes; see the package comment.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitUsage    = 2
+	exitPaused   = 3
+	exitDegraded = 4
 )
 
 // backendFlags collects the repeatable -backend values.
@@ -57,39 +92,60 @@ func (b *backendFlags) Set(v string) error {
 	return nil
 }
 
-// parseBackendSpec turns one -backend value into a Spec. "sut[@release]"
-// selects a hermetic in-process backend; "name=/path [args]" an
-// external solver binary under process supervision.
-func parseBackendSpec(v string, fuel int64, timeout time.Duration, retries, breaker int) (backend.Spec, error) {
+// parseBackendConfig turns one -backend value into a serializable
+// backend config. "sut[@release]" selects a hermetic in-process
+// backend; "name=/path [args]" an external solver binary under process
+// supervision.
+func parseBackendConfig(v string, fuel int64, timeout time.Duration, retries, breaker int) (harness.BackendConfig, error) {
 	if name, cmdline, ok := strings.Cut(v, "="); ok {
 		name = strings.TrimSpace(name)
 		argv := strings.Fields(cmdline)
 		if name == "" || len(argv) == 0 {
-			return backend.Spec{}, fmt.Errorf("backend %q: want name=/path/to/solver [args]", v)
+			return harness.BackendConfig{}, fmt.Errorf("backend %q: want name=/path/to/solver [args]", v)
 		}
 		if retries == 0 {
 			// The config treats 0 as "unset, use the default"; at the
 			// CLI an explicit 0 means no retries.
 			retries = -1
 		}
-		return backend.ProcessSpec(backend.ProcessConfig{
-			Name:             name,
-			Path:             argv[0],
-			Args:             argv[1:],
-			Timeout:          timeout,
-			Retries:          retries,
-			BreakerThreshold: breaker,
-		}), nil
+		return harness.BackendConfig{Process: &harness.ProcessBackendConfig{
+			Name:    name,
+			Path:    argv[0],
+			Args:    argv[1:],
+			Timeout: timeout,
+			Retries: retries,
+			Breaker: breaker,
+		}}, nil
 	}
 	sut, release, _ := strings.Cut(v, "@")
 	switch bugdb.SUT(sut) {
 	case bugdb.Z3Sim, bugdb.CVC4Sim:
-		return harness.SimBackendSpec(bugdb.SUT(sut), release, fuel), nil
+		return harness.BackendConfig{Sim: &harness.SimBackendConfig{
+			SUT: sut, Release: release, Fuel: fuel,
+		}}, nil
 	}
-	return backend.Spec{}, fmt.Errorf("backend %q: not a simulated solver (z3sim, cvc4sim) and no =/path given", v)
+	return harness.BackendConfig{}, fmt.Errorf("backend %q: not a simulated solver (z3sim, cvc4sim) and no =/path given", v)
+}
+
+// parseShard parses "I/K".
+func parseShard(v string) (shard, shards int, err error) {
+	if v == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(v, "%d/%d", &shard, &shards); err != nil {
+		return 0, 0, fmt.Errorf("shard %q: want I/K (e.g. 0/4)", v)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("shard %q: want 0 <= I < K", v)
+	}
+	return shard, shards, nil
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	sutName := flag.String("sut", "z3sim", "solver under test (z3sim or cvc4sim)")
 	release := flag.String("release", "trunk", "SUT release")
 	logicsFlag := flag.String("logics", "", "comma-separated logics (default: all)")
@@ -102,9 +158,9 @@ func main() {
 	concat := flag.Bool("concat", false, "ConcatFuzz baseline (no variable fusion)")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget per solve (0 = solver default, negative = unlimited)")
 	wallTimeout := flag.Duration("walltimeout", 0, "wall-clock watchdog per solve (0 = off); cut-off runs are quarantined, and results stop being thread-count invariant")
-	artifacts := flag.String("artifacts", "", "persist replayable reproducer bundles under this directory")
+	artifacts := flag.String("artifacts", "", "persist replayable reproducer bundles under this directory (with -merge: the merged bundle directory)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-text metrics snapshot here and print a summary table")
-	tracePath := flag.String("trace", "", "write a JSONL per-task event trace here")
+	tracePath := flag.String("trace", "", "write a JSONL per-task event trace here (appended to when resuming)")
 	outdir := flag.String("outdir", "", "write reduced bug-triggering formulas here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign here")
 	memprofile := flag.String("memprofile", "", "write an allocation profile here at exit")
@@ -113,42 +169,93 @@ func main() {
 	backendTimeout := flag.Duration("backend-timeout", 10*time.Second, "per-invocation wall-clock deadline for external backends")
 	backendRetries := flag.Int("backend-retries", 2, "transient-failure retries per external backend check (0 = none)")
 	backendBreaker := flag.Int("backend-breaker", 5, "consecutive hard failures before an external backend is quarantined")
+	checkpointPath := flag.String("checkpoint", "", "checkpoint file: resume from it if it exists, write it on pause")
+	stopAfter := flag.Int("stop-after", 0, "pause the campaign after this many classified tasks (writes -checkpoint, exits 3)")
+	shardSpec := flag.String("shard", "", "run one shard, as I/K (task ids congruent to I mod K)")
+	envelopePath := flag.String("envelope", "", "write the completed campaign's sealed result envelope here")
+	fingerprintPath := flag.String("fingerprint", "", "write the canonical result fingerprint here (byte-comparable across resumed/sharded runs)")
+	merge := flag.Bool("merge", false, "merge shard envelopes (positional arguments) into one campaign result")
+	serveAddr := flag.String("serve", "", "run the campaign service on this address instead of a one-shot campaign")
+	spoolDir := flag.String("spool", "", "with -serve: persist jobs under this directory, reloading them on restart")
 	flag.Parse()
 
-	var backendSpecs []backend.Spec
+	if *serveAddr != "" {
+		return runServe(*serveAddr, *spoolDir)
+	}
+	if *merge {
+		return runMerge(flag.Args(), *artifacts, *metricsPath, *tracePath, *fingerprintPath, *outdir, *fuel)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "error: unexpected arguments %q (positional arguments are only envelopes, with -merge)\n", flag.Args())
+		return exitUsage
+	}
+
+	shard, shards, err := parseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return exitUsage
+	}
+
+	cc := harness.CampaignConfig{
+		SUT:               *sutName,
+		Release:           *release,
+		Iterations:        *iters,
+		SeedPool:          *pool,
+		Seed:              *seed,
+		Threads:           *threads,
+		Mode:              *mode,
+		DisableModelCheck: *noModelCheck,
+		ConcatOnly:        *concat,
+		Fuel:              *fuel,
+		WallTimeout:       *wallTimeout,
+		ArtifactDir:       *artifacts,
+		Shard:             shard,
+		Shards:            shards,
+	}
+	if *logicsFlag != "" {
+		for _, l := range strings.Split(*logicsFlag, ",") {
+			cc.Logics = append(cc.Logics, strings.TrimSpace(l))
+		}
+	}
 	for _, v := range backends {
-		spec, err := parseBackendSpec(v, *fuel, *backendTimeout, *backendRetries, *backendBreaker)
+		bc, err := parseBackendConfig(v, *fuel, *backendTimeout, *backendRetries, *backendBreaker)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return exitError
 		}
-		backendSpecs = append(backendSpecs, spec)
+		cc.Backends = append(cc.Backends, bc)
+	}
+
+	// A checkpoint on disk takes over the campaign's identity: the
+	// shape flags above are ignored in favor of the recorded config.
+	var cp *harness.Checkpoint
+	resuming := false
+	if *checkpointPath != "" {
+		if data, err := os.ReadFile(*checkpointPath); err == nil {
+			cp, err = harness.DecodeCheckpoint(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return exitError
+			}
+			resuming = true
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			return exitError
+		}
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
+			return exitError
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
+			return exitError
 		}
 		defer pprof.StopCPUProfile()
-	}
-
-	var logics []gen.Logic
-	if *logicsFlag != "" {
-		for _, l := range strings.Split(*logicsFlag, ",") {
-			logics = append(logics, gen.Logic(strings.TrimSpace(l)))
-		}
-	}
-	if *threads <= 0 {
-		// Mirror the harness clamp so usage output and derived tooling
-		// see the effective worker count.
-		*threads = 1
 	}
 
 	var tracker *telemetry.Tracker
@@ -157,37 +264,36 @@ func main() {
 	}
 	// trace stays a nil interface when -trace is unset: assigning a nil
 	// *os.File into the io.Writer field would read as "tracing on" to
-	// the harness.
+	// the harness. Resumed campaigns append — each leg emits only its
+	// new records, so the file accumulates the whole campaign's trace.
 	var trace io.Writer
 	var traceFile *os.File
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+		mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+		if resuming {
+			mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+		}
+		f, err := os.OpenFile(*tracePath, mode, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			return exitError
 		}
 		traceFile = f
 		trace = f
 	}
 
-	res, err := harness.Run(harness.Campaign{
-		SUT:               bugdb.SUT(*sutName),
-		Release:           *release,
-		Logics:            logics,
-		Iterations:        *iters,
-		SeedPool:          *pool,
-		Seed:              *seed,
-		Threads:           *threads,
-		Mode:              harness.CampaignMode(*mode),
-		DisableModelCheck: *noModelCheck,
-		ConcatOnly:        *concat,
-		Fuel:              *fuel,
-		WallTimeout:       *wallTimeout,
-		ArtifactDir:       *artifacts,
-		Backends:          backendSpecs,
-		Telemetry:         tracker,
-		Trace:             trace,
-	})
+	opt := harness.RunOptions{
+		Telemetry: tracker,
+		Trace:     trace,
+		Threads:   *threads,
+		StopAfter: *stopAfter,
+	}
+	var out *harness.Outcome
+	if resuming {
+		out, err = harness.Resume(cp, opt)
+	} else {
+		out, err = harness.Start(cc, opt)
+	}
 	if traceFile != nil {
 		if cerr := traceFile.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("trace: %w", cerr)
@@ -195,19 +301,156 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return exitError
 	}
 	if tracker != nil {
 		if werr := writeMetrics(*metricsPath, tracker.Snapshot()); werr != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", werr)
-			os.Exit(1)
+			return exitError
+		}
+	}
+	if *fingerprintPath != "" {
+		if werr := os.WriteFile(*fingerprintPath, out.Result.Fingerprint(), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "fingerprint:", werr)
+			return exitError
 		}
 	}
 
+	if out.Paused {
+		if *checkpointPath == "" {
+			fmt.Fprintln(os.Stderr, "error: campaign paused but no -checkpoint file to write (the pause state is lost)")
+			return exitError
+		}
+		data, err := harness.EncodeCheckpoint(out.Checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			return exitError
+		}
+		if err := os.WriteFile(*checkpointPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			return exitError
+		}
+		total := out.Checkpoint.Config.ShardTaskCount()
+		fmt.Printf("paused: %d/%d tasks classified; checkpoint written to %s (rerun with the same -checkpoint to continue)\n",
+			out.Checkpoint.Done, total, *checkpointPath)
+		pprof.StopCPUProfile() // a no-op when profiling is off
+		return exitPaused
+	}
+
+	if *envelopePath != "" {
+		data, err := harness.EncodeEnvelope(out.Envelope)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "envelope:", err)
+			return exitError
+		}
+		if err := os.WriteFile(*envelopePath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "envelope:", err)
+			return exitError
+		}
+	}
+	printResult(out.Result, *artifacts, *outdir, *fuel)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return exitError
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return exitError
+		}
+	}
+
+	if out.Result.Degraded() {
+		// Exit 4 distinguishes "completed but degraded" from usage and
+		// campaign errors.
+		pprof.StopCPUProfile()
+		return exitDegraded
+	}
+	return exitOK
+}
+
+// runServe runs the campaign control-plane HTTP service until the
+// process is killed.
+func runServe(addr, spool string) int {
+	srv, err := service.New(spool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return exitError
+	}
+	fmt.Printf("yinyang campaign service listening on %s", addr)
+	if spool != "" {
+		fmt.Printf(" (spooling jobs under %s)", spool)
+	}
+	fmt.Println()
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return exitError
+	}
+	return exitOK
+}
+
+// runMerge folds shard envelopes into one campaign result.
+func runMerge(paths []string, artifactsDir, metricsPath, tracePath, fingerprintPath, outdir string, fuel int64) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "error: -merge needs envelope files as positional arguments")
+		return exitUsage
+	}
+	var envs []*harness.Envelope
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merge:", err)
+			return exitError
+		}
+		env, err := harness.DecodeEnvelope(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merge: %s: %v\n", p, err)
+			return exitError
+		}
+		envs = append(envs, env)
+	}
+	m, err := harness.Merge(envs, artifactsDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merge:", err)
+		return exitError
+	}
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath, m.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			return exitError
+		}
+	}
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, m.Trace, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			return exitError
+		}
+	}
+	if fingerprintPath != "" {
+		if err := os.WriteFile(fingerprintPath, m.Result.Fingerprint(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fingerprint:", err)
+			return exitError
+		}
+	}
+	printResult(m.Result, artifactsDir, outdir, fuel)
+	if m.Result.Degraded() {
+		return exitDegraded
+	}
+	return exitOK
+}
+
+// printResult prints the human-readable campaign report: the summary
+// line, findings, backend reports, and warnings. Identical for direct,
+// resumed, and merged runs — the determinism suites diff this output.
+func printResult(res *harness.Result, artifactsDir, outdir string, fuel int64) {
 	fmt.Printf("tests: %d   unknowns: %d   timeouts: %d   bugs: %d   duplicates: %d   invalid-inputs: %d   quarantined: %d\n",
 		res.Tests, res.Unknowns, res.Timeouts, len(res.Bugs), res.Duplicates, res.InvalidInputs, res.Quarantined)
 	if len(res.Artifacts) > 0 {
-		fmt.Printf("artifacts: %d bundles under %s\n", len(res.Artifacts), *artifacts)
+		fmt.Printf("artifacts: %d bundles under %s\n", len(res.Artifacts), artifactsDir)
 	}
 	if res.InvalidInputs > 0 {
 		fmt.Printf("WARNING: %d fused scripts rejected by the static verification gate (fusion defect?)\n",
@@ -221,8 +464,8 @@ func main() {
 		entry, _ := bugdb.Find(b.Defect)
 		fmt.Printf("  [%s] %-32s logic=%-10s oracle=%-5v observed=%-7v  %s\n",
 			b.Kind, b.Defect, b.Logic, b.Oracle, b.Observed, entry.Description)
-		if *outdir != "" {
-			writeReduced(*outdir, b, *fuel)
+		if outdir != "" {
+			writeReduced(outdir, b, fuel)
 		}
 	}
 	for _, rep := range res.Backends {
@@ -241,28 +484,6 @@ func main() {
 	}
 	if res.Degraded() {
 		fmt.Println("WARNING: campaign completed in degraded mode: one or more backends quarantined by the circuit breaker")
-	}
-
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		runtime.GC() // materialize up-to-date allocation statistics
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
-			os.Exit(1)
-		}
-	}
-
-	if res.Degraded() {
-		// Exit 4 distinguishes "completed but degraded" from usage and
-		// campaign errors. os.Exit skips defers, so flush the CPU profile
-		// explicitly (a no-op when profiling is off).
-		pprof.StopCPUProfile()
-		os.Exit(4)
 	}
 }
 

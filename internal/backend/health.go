@@ -63,6 +63,30 @@ func (h *Health) Record(v Verdict) {
 	}
 }
 
+// State exports the breaker's mutable state for campaign
+// checkpointing. A nil Health reports a zero state.
+func (h *Health) State() (streak int, open bool) {
+	if h == nil {
+		return 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.streak, h.open
+}
+
+// Restore overwrites the breaker's mutable state: campaign resume
+// rehydrates each backend's failure streak so a breaker that was about
+// to open does not get a fresh allowance. A nil Health no-ops.
+func (h *Health) Restore(streak int, open bool) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.streak = streak
+	h.open = open
+}
+
 // Quarantined reports whether the breaker is open.
 func (h *Health) Quarantined() bool {
 	if h == nil {

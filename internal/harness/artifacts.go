@@ -73,6 +73,28 @@ type Manifest struct {
 	BackendRetries int      `json:"backend_retries,omitempty"`
 }
 
+// artifactRef records one written bundle for checkpointing and shard
+// merging: the dedup key (also the bundle's directory name), the task
+// whose classification wrote it, and the finding's identity. The
+// identity lets Merge decide whether the single-process run would have
+// written this bundle: a shard records its locally-first trigger of a
+// defect, but globally that task may be a duplicate whose bundle the
+// unsharded run never writes.
+type artifactRef struct {
+	Key  string `json:"key"`
+	Task int    `json:"task"`
+	// BugType is the manifest's bug_type: a SUT bug kind, "quarantine",
+	// or "backend-<kind>".
+	BugType string `json:"bug_type,omitempty"`
+	// Defect is set for SUT bug bundles.
+	Defect string `json:"defect,omitempty"`
+	// Backend/Oracle/Observed carry a backend finding's dedup
+	// coordinates.
+	Backend  string `json:"backend,omitempty"`
+	Oracle   string `json:"oracle,omitempty"`
+	Observed string `json:"observed,omitempty"`
+}
+
 // artifactWriter persists reproducer bundles under one directory,
 // deduplicated by bug hash. It is only ever called from the in-order
 // classification loop, so it needs no locking and writes in a
@@ -81,11 +103,24 @@ type artifactWriter struct {
 	dir     string
 	written map[string]bool
 	paths   []string
+	refs    []artifactRef
 	err     error // first write error, surfaced at campaign end
 }
 
 func newArtifactWriter(dir string) *artifactWriter {
 	return &artifactWriter{dir: dir, written: map[string]bool{}}
+}
+
+// restore rehydrates the dedup state from a checkpoint's refs: bundles
+// written before the pause (already on disk under the same directory)
+// keep suppressing duplicates, and the cumulative path list stays in
+// write order.
+func (w *artifactWriter) restore(refs []artifactRef) {
+	for _, r := range refs {
+		w.written[r.Key] = true
+		w.paths = append(w.paths, filepath.Join(w.dir, r.Key))
+		w.refs = append(w.refs, r)
+	}
 }
 
 // bugHash identifies a bundle: same SUT, observation kind, defect,
@@ -100,9 +135,10 @@ func bugHash(sut, release, obs, fusedText string) string {
 
 // write persists one bundle: seed1.smt2, seed2.smt2, fused.smt2 (the
 // test case — a fused script or a mutant), and manifest.json under
-// dir/<bughash>/. Returns the bundle path ("" when skipped as a
-// duplicate).
-func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtlib.Script) string {
+// dir/<bughash>/. task is the classifying task's global id, recorded
+// for checkpointing and shard merging. Returns the bundle path (""
+// when skipped as a duplicate).
+func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtlib.Script, task int) string {
 	if w == nil {
 		return ""
 	}
@@ -117,6 +153,15 @@ func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtl
 		w.err = err
 	}
 	w.paths = append(w.paths, dir)
+	w.refs = append(w.refs, artifactRef{
+		Key:      key,
+		Task:     task,
+		BugType:  m.BugType,
+		Defect:   m.Defect,
+		Backend:  m.Backend,
+		Oracle:   m.Oracle,
+		Observed: m.Observed,
+	})
 	return dir
 }
 

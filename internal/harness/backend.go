@@ -214,7 +214,7 @@ func classifyBackends(res *Result, cfg Campaign, aw *artifactWriter, bt *backend
 			m.BackendRetries = o.Retries
 			m.Observed = f.Observed
 			m.Reason = f.Reason
-			aw.write(m, out.ancestors, out.testScript())
+			aw.write(m, out.ancestors, out.testScript(), out.id)
 		}
 	}
 }

@@ -90,6 +90,11 @@ type Bug struct {
 	Mode core.Mode
 	// Rules lists the applied mutation rules (mutation tasks only).
 	Rules []string
+	// Tasks lists every global task id that triggered this defect, in
+	// classification order: Tasks[0] is the recording trigger, the rest
+	// are the re-triggers counted in Result.Duplicates. Checkpoints and
+	// shard merging rely on these to reconstruct dedup state exactly.
+	Tasks []int
 }
 
 // CampaignMode selects how a campaign derives test cases from seeds.
@@ -413,19 +418,112 @@ func makeSUT(cfg Campaign, tr *telemetry.Tracker) (*solver.Solver, error) {
 // value: parallelism is a pure speedup, not a different experiment.
 func Run(cfg Campaign) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := validateCampaign(cfg); err != nil {
+		return nil, err
+	}
+	total := len(cfg.Logics) * cfg.Iterations
+	include := make([]int, total)
+	for i := range include {
+		include[i] = i
+	}
+	st := newRunState(cfg)
+	if _, err := runLeg(cfg, include, st, runControls{}); err != nil {
+		return nil, err
+	}
+	return finish(cfg, st)
+}
+
+// validateCampaign rejects configurations Run cannot execute. cfg must
+// already carry its defaults.
+func validateCampaign(cfg Campaign) error {
 	switch cfg.Mode {
 	case ModeFusion, ModeMutate, ModeBoth:
 	default:
-		return nil, fmt.Errorf("harness: unknown campaign mode %q", cfg.Mode)
+		return fmt.Errorf("harness: unknown campaign mode %q", cfg.Mode)
 	}
 	if cfg.ConcatOnly && cfg.Mode != ModeFusion {
-		return nil, fmt.Errorf("harness: ConcatOnly requires fusion mode, got %q", cfg.Mode)
+		return fmt.Errorf("harness: ConcatOnly requires fusion mode, got %q", cfg.Mode)
 	}
-	if err := validateBackends(cfg.Backends); err != nil {
-		return nil, err
-	}
+	return validateBackends(cfg.Backends)
+}
 
-	rec := &recorder{tr: cfg.Telemetry}
+// runControls tunes one exec leg of a campaign: pause triggers and
+// observation hooks. The zero value runs the leg to completion.
+type runControls struct {
+	// stopAfter, when positive, pauses the leg once that many more
+	// tasks have been classified.
+	stopAfter int
+	// stop is polled after every classified task; returning true pauses
+	// the leg at that frontier.
+	stop func() bool
+	// progress observes (classified so far, campaign total) after every
+	// classified task, called from the classification goroutine. When
+	// set, the trace writer is flushed first, so a live reader observes
+	// every record up to the reported position.
+	progress func(done, total int)
+	// suppressVet drops the corpus-vetting telemetry: resume legs and
+	// non-zero shards rebuild the corpus (it is a pure function of the
+	// configuration), but only the first leg of shard 0 may count it —
+	// otherwise the merged funnel would double-count seed generation.
+	suppressVet bool
+}
+
+// runState is the campaign state that survives a pause: everything the
+// in-order classification stage has folded so far. Bugs stay in
+// recording order until finish sorts them, so a checkpoint taken at any
+// frontier serializes the exact dedup state.
+type runState struct {
+	res   *Result
+	found map[solver.Defect]int // defect → index into res.Bugs
+	bt    *backendTriage
+	aw    *artifactWriter
+	// done counts classified tasks, cumulative across resume legs.
+	done int
+}
+
+func newRunState(cfg Campaign) *runState {
+	res := &Result{}
+	res.Backends = make([]BackendReport, len(cfg.Backends))
+	for i, spec := range cfg.Backends {
+		res.Backends[i] = BackendReport{Name: spec.Name, Hermetic: spec.Hermetic}
+	}
+	st := &runState{
+		res:   res,
+		found: map[solver.Defect]int{},
+		bt:    &backendTriage{seen: map[bkKey]bool{}},
+	}
+	if cfg.ArtifactDir != "" {
+		st.aw = newArtifactWriter(cfg.ArtifactDir)
+	}
+	return st
+}
+
+// finish finalizes a completed (or paused, for its partial Result)
+// campaign: sorts the findings, fills breaker states, and surfaces the
+// first artifact-write error.
+func finish(cfg Campaign, st *runState) (*Result, error) {
+	res := st.res
+	sortBugs(res.Bugs)
+	finishBackends(res, cfg)
+	if st.aw != nil {
+		if st.aw.err != nil {
+			return nil, fmt.Errorf("harness: writing artifacts: %w", st.aw.err)
+		}
+		res.Artifacts = st.aw.paths
+	}
+	return res, nil
+}
+
+// runLeg runs one leg of a campaign: the tasks listed in include
+// (strictly ascending global ids) are executed and classified in that
+// order into st. Tasks outside include that precede an included task
+// within its family are warm-replayed — run and discarded — so every
+// included task sees exactly the warm-cache state (and hence telemetry
+// deltas) it would have seen in an uninterrupted single-process run.
+// Returns true when a control paused the leg before include was
+// exhausted.
+func runLeg(cfg Campaign, include []int, st *runState, ctl runControls) (bool, error) {
+	rec := &recorder{tr: cfg.Telemetry, suppressVet: ctl.suppressVet}
 	if cfg.Trace != nil {
 		rec.jw = telemetry.NewJSONLWriter(cfg.Trace)
 	}
@@ -442,7 +540,7 @@ func Run(cfg Campaign) (*Result, error) {
 		}
 		sut, err := makeSUT(cfg, trackers[w])
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		suts[w] = sut
 	}
@@ -456,7 +554,7 @@ func Run(cfg Campaign) (*Result, error) {
 		for _, spec := range cfg.Backends {
 			b, err := spec.New()
 			if err != nil {
-				return nil, fmt.Errorf("harness: backend %q: %w", spec.Name, err)
+				return false, fmt.Errorf("harness: backend %q: %w", spec.Name, err)
 			}
 			workerBackends[w] = append(workerBackends[w], b)
 		}
@@ -464,7 +562,7 @@ func Run(cfg Campaign) (*Result, error) {
 
 	pools, err := buildCorpus(cfg, suts, trackers, rec)
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 
 	// Tasks are dispatched as per-seed families: all variants of one
@@ -475,15 +573,51 @@ func Run(cfg Campaign) (*Result, error) {
 	// and what the reset buys is thread-invariance — each task's
 	// telemetry delta is a function of its in-family predecessors only,
 	// never of which worker ran the family or what ran there before.
+	//
+	// emit marks the included ids. Families are always computed over
+	// the full task space, trimmed to their last included member: the
+	// untrimmed prefix is the warm-replay work that reconstructs the
+	// in-family cache state an included task depends on. Workers read
+	// emit concurrently; it is immutable once built.
 	total := len(cfg.Logics) * cfg.Iterations
+	emit := make([]bool, total)
+	for _, id := range include {
+		emit[id] = true
+	}
+	var jobs [][]int
+	for _, fam := range buildFamilies(cfg, total) {
+		last := -1
+		for i, id := range fam {
+			if emit[id] {
+				last = i
+			}
+		}
+		if last >= 0 {
+			jobs = append(jobs, fam[:last+1])
+		}
+	}
+
 	taskCh := make(chan []int, cfg.Threads)
 	outCh := make(chan taskOutcome, cfg.Threads)
+	quit := make(chan struct{})
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(sut *solver.Solver, bks []backend.Backend, tr *telemetry.Tracker) {
 			defer wg.Done()
+			// Replayed (non-emitted) tasks drive only the warm-state
+			// backends: hermetic adapters own per-instance caches whose
+			// state the replay must reconstruct, while external process
+			// backends carry no warm state (and cost real solver time),
+			// so a resumed campaign never re-invokes them for
+			// already-classified work.
+			var warmBks []backend.Backend
+			for _, b := range bks {
+				if _, ok := b.(backend.Resetter); ok {
+					warmBks = append(warmBks, b)
+				}
+			}
 			for fam := range taskCh {
 				sut.ResetWarm()
 				// Hermetic backends carry the same warm-cache contract as
@@ -495,7 +629,11 @@ func Run(cfg Campaign) (*Result, error) {
 					}
 				}
 				for _, id := range fam {
-					out := runTask(cfg, pools, sut, bks, tr, id)
+					runBks := bks
+					if !emit[id] {
+						runBks = warmBks
+					}
+					out := runTask(cfg, pools, sut, runBks, tr, id)
 					if out.wallTimeout {
 						// The watchdog abandoned a solve mid-flight: that
 						// solver instance may hold inconsistent state, so
@@ -510,61 +648,89 @@ func Run(cfg Campaign) (*Result, error) {
 							sut = fresh
 						}
 					}
-					outCh <- out
+					if emit[id] {
+						outCh <- out
+					}
 				}
 			}
 		}(suts[w], workerBackends[w], trackers[w])
 	}
 	go func() {
-		for _, fam := range buildFamilies(cfg, total) {
-			taskCh <- fam
+		defer func() {
+			close(taskCh)
+			wg.Wait()
+			close(outCh)
+		}()
+		for _, fam := range jobs {
+			select {
+			case taskCh <- fam:
+			case <-quit:
+				return
+			}
 		}
-		close(taskCh)
-		wg.Wait()
-		close(outCh)
 	}()
 
 	// In-order classification: outcomes arrive in completion order but
 	// are applied in task order, buffering only the out-of-order window.
-	res := &Result{}
-	res.Backends = make([]BackendReport, len(cfg.Backends))
-	for i, spec := range cfg.Backends {
-		res.Backends[i] = BackendReport{Name: spec.Name, Hermetic: spec.Hermetic}
+	// After a pause triggers, the feeder is stopped and the channel
+	// drained; outcomes past the frontier are discarded — resume re-runs
+	// them deterministically.
+	totalInclude := st.done + len(include)
+	idx := 0
+	budget := ctl.stopAfter
+	paused := false
+	quitClosed := false
+	stopFeeding := func() {
+		if !quitClosed {
+			close(quit)
+			quitClosed = true
+		}
 	}
-	bt := &backendTriage{seen: map[bkKey]bool{}}
-	found := map[solver.Defect]bool{}
 	pending := map[int]taskOutcome{}
-	next := 0
-	var aw *artifactWriter
-	if cfg.ArtifactDir != "" {
-		aw = newArtifactWriter(cfg.ArtifactDir)
-	}
 	for out := range outCh {
+		if paused {
+			continue
+		}
 		pending[out.id] = out
-		for {
-			cur, ok := pending[next]
+		for idx < len(include) {
+			cur, ok := pending[include[idx]]
 			if !ok {
 				break
 			}
-			delete(pending, next)
-			next++
-			prev := countsOf(res)
-			applyOutcome(res, found, cfg, aw, bt, cur)
-			rec.task(cfg, cur, prev, res)
+			delete(pending, include[idx])
+			idx++
+			prev := countsOf(st.res)
+			applyOutcome(st.res, st.found, cfg, st.aw, st.bt, cur)
+			rec.task(cfg, cur, prev, st.res)
+			st.done++
+			if ctl.progress != nil {
+				rec.flush()
+				ctl.progress(st.done, totalInclude)
+			}
+			if budget > 0 {
+				budget--
+				if budget == 0 {
+					paused = true
+				}
+			}
+			if !paused && ctl.stop != nil && ctl.stop() {
+				paused = true
+			}
+			if paused {
+				stopFeeding()
+				break
+			}
 		}
 	}
-	sortBugs(res.Bugs)
-	finishBackends(res, cfg)
-	if aw != nil {
-		if aw.err != nil {
-			return nil, fmt.Errorf("harness: writing artifacts: %w", aw.err)
-		}
-		res.Artifacts = aw.paths
+	if idx == len(include) {
+		// The pause trigger fired on the last task: nothing remains, so
+		// the leg completed after all.
+		paused = false
 	}
 	if err := rec.jw.Close(); err != nil {
-		return nil, fmt.Errorf("harness: writing trace: %w", err)
+		return false, fmt.Errorf("harness: writing trace: %w", err)
 	}
-	return res, nil
+	return paused, nil
 }
 
 // runTask executes one derive+solve task — fusion of a seed pair or
@@ -649,7 +815,7 @@ func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, bks []bac
 	return out
 }
 
-func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, bt *backendTriage, out taskOutcome) {
+func applyOutcome(res *Result, found map[solver.Defect]int, cfg Campaign, aw *artifactWriter, bt *backendTriage, out taskOutcome) {
 	if out.invalid {
 		res.InvalidInputs++
 		return
@@ -672,7 +838,7 @@ func applyOutcome(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *a
 				m.FaultMsg = out.run.FaultMsg
 				m.FaultStack = out.run.FaultStack
 			}
-			aw.write(m, out.ancestors, out.testScript())
+			aw.write(m, out.ancestors, out.testScript(), out.id)
 		}
 		return
 	}
@@ -729,7 +895,7 @@ func manifestFor(cfg Campaign, out taskOutcome, bugType string, defect solver.De
 // classify implements the incorrects/crashes bookkeeping of
 // Algorithm 1, extended with performance-defect observation, timeout
 // triage, and duplicate triage by defect site.
-func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artifactWriter, out taskOutcome) {
+func classify(res *Result, found map[solver.Defect]int, cfg Campaign, aw *artifactWriter, out taskOutcome) {
 	logic := cfg.Logics[out.id/cfg.Iterations]
 	ancestors, run := out.ancestors, out.run
 	script, oracle := out.testScript(), out.oracle()
@@ -739,11 +905,12 @@ func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artif
 			res.ReferenceDisagreements++
 			return
 		}
-		if found[primary] {
+		if i, ok := found[primary]; ok {
 			res.Duplicates++
+			res.Bugs[i].Tasks = append(res.Bugs[i].Tasks, out.id)
 			return
 		}
-		found[primary] = true
+		found[primary] = len(res.Bugs)
 		b := Bug{
 			Defect:    primary,
 			Kind:      kind,
@@ -752,6 +919,7 @@ func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artif
 			Observed:  run.Result,
 			Script:    script,
 			Ancestors: ancestors,
+			Tasks:     []int{out.id},
 		}
 		if out.mutant != nil {
 			b.Rules = out.mutant.Rules
@@ -760,7 +928,7 @@ func classify(res *Result, found map[solver.Defect]bool, cfg Campaign, aw *artif
 		}
 		res.Bugs = append(res.Bugs, b)
 		if aw != nil {
-			aw.write(manifestFor(cfg, out, string(kind), primary), ancestors, script)
+			aw.write(manifestFor(cfg, out, string(kind), primary), ancestors, script, out.id)
 		}
 	}
 

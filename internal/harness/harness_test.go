@@ -295,6 +295,108 @@ func TestThreadCountInvariance(t *testing.T) {
 					}
 				}
 			}
+
+			// The invariance must also survive a checkpoint cut: pausing
+			// at an arbitrary frontier and resuming — with a different
+			// worker count — is the same experiment as running straight
+			// through. Cut positions are chosen adversarially: inside a
+			// warm-state seed family (the resumed leg must warm-replay
+			// the in-family prefix it did not classify) and flanking a
+			// backend cross-check finding's recording task (the resumed
+			// leg must restore finding dedup and breaker state rather
+			// than re-record or re-count).
+			cc := CampaignConfig{
+				SUT:        string(bugdb.Z3Sim),
+				Logics:     []string{string(gen.QFLIA), string(gen.QFS)},
+				Iterations: shortIters(60),
+				SeedPool:   8,
+				Seed:       42,
+				Mode:       string(mode),
+				Backends:   []BackendConfig{{Sim: &SimBackendConfig{SUT: string(bugdb.CVC4Sim), Release: "1.5"}}},
+			}
+			refTr := telemetry.NewTracker()
+			var refTrace bytes.Buffer
+			refOut, err := Start(cc, RunOptions{Telemetry: refTr, Trace: &refTrace})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The config-driven path must be the same experiment as the
+			// Campaign-driven path exercised above.
+			if summary(refOut.Result) != summary(ref) {
+				t.Errorf("Start(config) counts differ from Run(campaign): %+v vs %+v",
+					summary(refOut.Result), summary(ref))
+			}
+			if !bytes.Equal(refTrace.Bytes(), traces[0].Bytes()) {
+				t.Error("Start(config) trace differs from Run(campaign)")
+			}
+
+			d := cc.withDefaults()
+			camp, err := d.campaign()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stops []int
+			for _, fam := range buildFamilies(camp.withDefaults(), d.total()) {
+				if len(fam) >= 2 {
+					stops = append(stops, fam[0]+1) // cuts this family
+					break
+				}
+			}
+			for _, f := range refOut.Result.BackendFindings {
+				stops = append(stops, f.Task, f.Task+1)
+				break
+			}
+			if len(stops) == 0 {
+				t.Fatal("no adversarial cut positions found")
+			}
+			legThreads := []int{4, 1, 2}
+			for i, stop := range stops {
+				if stop <= 0 || stop >= d.total() {
+					continue
+				}
+				tr1 := telemetry.NewTracker()
+				var tb1 bytes.Buffer
+				out1, err := Start(cc, RunOptions{
+					Telemetry: tr1, Trace: &tb1,
+					Threads: legThreads[i%len(legThreads)], StopAfter: stop,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out1.Paused || out1.Checkpoint == nil {
+					t.Fatalf("stop=%d did not pause", stop)
+				}
+				data, err := EncodeCheckpoint(out1.Checkpoint)
+				if err != nil {
+					t.Fatalf("stop=%d encode: %v", stop, err)
+				}
+				cp, err := DecodeCheckpoint(data)
+				if err != nil {
+					t.Fatalf("stop=%d decode: %v", stop, err)
+				}
+				tr2 := telemetry.NewTracker()
+				var tb2 bytes.Buffer
+				out2, err := Resume(cp, RunOptions{
+					Telemetry: tr2, Trace: &tb2,
+					Threads: legThreads[(i+1)%len(legThreads)],
+				})
+				if err != nil {
+					t.Fatalf("stop=%d resume: %v", stop, err)
+				}
+				if out2.Paused {
+					t.Fatalf("stop=%d resumed leg paused", stop)
+				}
+				if !bytes.Equal(out2.Result.Fingerprint(), refOut.Result.Fingerprint()) {
+					t.Errorf("stop=%d resumed result diverged from uninterrupted run", stop)
+				}
+				if !reflect.DeepEqual(out2.Telemetry, refOut.Telemetry) {
+					t.Errorf("stop=%d resumed telemetry diverged from uninterrupted run", stop)
+				}
+				legs := append(append([]byte(nil), tb1.Bytes()...), tb2.Bytes()...)
+				if !bytes.Equal(legs, refTrace.Bytes()) {
+					t.Errorf("stop=%d concatenated leg traces diverged from uninterrupted trace", stop)
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,468 @@
+// Sharding: a campaign's task space splits across K independent
+// processes, each classifying the global task ids congruent to its
+// shard index mod K. Every per-task quantity (verdict, fuel delta,
+// artifacts, trace record) is computed identically to the unsharded
+// run because task RNG derives from (campaign seed, logic, iteration)
+// alone and warm state is reconstructed per family; only the
+// *cross-task* folds — bug dedup, duplicate counts, backend triage,
+// funnel counters, trace finding flags — see a shard-local view.
+// Merge re-folds those from the envelopes' trigger-task lists, so the
+// merged Result, metrics, and trace are byte-identical to a
+// single-process run of the same config.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bugdb"
+	"repro/internal/telemetry"
+)
+
+// Envelope is one completed shard (or a whole unsharded campaign): the
+// config it ran, the per-shard classification state, telemetry
+// snapshot, and JSONL trace bytes, in a form Merge can fold. Produced
+// by Start/Resume on completion; serialized with EncodeEnvelope.
+type Envelope struct {
+	Config CampaignConfig `json:"config"`
+	// Tasks is the number of task ids this shard classified — always
+	// the shard's full allotment, since envelopes only exist for
+	// completed runs (a partial run yields a Checkpoint instead).
+	Tasks     int                `json:"tasks"`
+	State     savedState         `json:"state"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+	Trace     []byte             `json:"trace,omitempty"`
+}
+
+func (e *Envelope) validate() error {
+	if err := e.Config.Validate(); err != nil {
+		return err
+	}
+	d := e.Config.withDefaults()
+	if want := len(d.includeIDs()); e.Tasks != want {
+		return fmt.Errorf("harness: envelope: %d tasks classified, shard %d/%d owns %d (envelopes are complete runs)",
+			e.Tasks, d.Shard, d.Shards, want)
+	}
+	if err := validateState(e.Config, e.State, e.Tasks); err != nil {
+		return fmt.Errorf("harness: envelope: %v", err)
+	}
+	return nil
+}
+
+// EncodeEnvelope serializes a shard envelope as a versioned,
+// checksummed JSON document.
+func EncodeEnvelope(e *Envelope) ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("harness: nil envelope")
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return sealDoc(kindEnvelope, CheckpointSchema, e)
+}
+
+// DecodeEnvelope parses and fully validates an envelope document,
+// failing closed on any corruption, version skew, or state that
+// violates the classification invariants.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	payload, err := openDoc(data, kindEnvelope, CheckpointSchema)
+	if err != nil {
+		return nil, err
+	}
+	var e Envelope
+	if err := decodeStrict(payload, &e, kindEnvelope); err != nil {
+		return nil, err
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Merged is the fold of one campaign's shard envelopes: a Result,
+// telemetry snapshot, and JSONL trace byte-identical to what a
+// single-process run of the same config would have produced.
+type Merged struct {
+	Result    *Result
+	Telemetry telemetry.Snapshot
+	Trace     []byte
+}
+
+// identityJSON is a config's campaign identity: the defaulted config
+// with the fields that legitimately vary across shard processes
+// (shard coordinates, worker count, artifact directory) zeroed out.
+func identityJSON(cc CampaignConfig) ([]byte, error) {
+	d := cc.withDefaults()
+	d.Shard = 0
+	d.Threads = 0
+	d.ArtifactDir = ""
+	return json.Marshal(d)
+}
+
+// Merge folds the K shard envelopes of one campaign. artifactDir, when
+// non-empty, receives a copy of each merged finding's reproducer
+// bundle (an unsharded campaign writes exactly those bundles); when
+// empty, Result.Artifacts points at the bundles in the shards' own
+// artifact directories.
+func Merge(envs []*Envelope, artifactDir string) (*Merged, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("harness: merge of zero envelopes")
+	}
+	for i, e := range envs {
+		if e == nil {
+			return nil, fmt.Errorf("harness: merge: envelope %d is nil", i)
+		}
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("harness: merge: envelope %d: %w", i, err)
+		}
+	}
+
+	// The envelopes must be the K shards of one campaign: identical
+	// identity, shard indices covering 0..K-1 exactly once.
+	wantID, err := identityJSON(envs[0].Config)
+	if err != nil {
+		return nil, err
+	}
+	shards := envs[0].Config.withDefaults().Shards
+	if len(envs) != shards {
+		return nil, fmt.Errorf("harness: merge: %d envelopes for a %d-shard campaign", len(envs), shards)
+	}
+	byShard := make([]*Envelope, shards)
+	for i, e := range envs {
+		id, err := identityJSON(e.Config)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(id, wantID) {
+			return nil, fmt.Errorf("harness: merge: envelope %d belongs to a different campaign", i)
+		}
+		s := e.Config.withDefaults().Shard
+		if byShard[s] != nil {
+			return nil, fmt.Errorf("harness: merge: two envelopes for shard %d", s)
+		}
+		byShard[s] = e
+	}
+
+	d := envs[0].Config.withDefaults()
+	res := &Result{}
+	for _, e := range byShard {
+		res.Tests += e.State.Tests
+		res.Unknowns += e.State.Unknowns
+		res.ReferenceDisagreements += e.State.ReferenceDisagreements
+		res.InvalidInputs += e.State.InvalidInputs
+		res.Timeouts += e.State.Timeouts
+		res.Quarantined += e.State.Quarantined
+	}
+
+	bugs, duplicates, err := mergeBugs(byShard)
+	if err != nil {
+		return nil, err
+	}
+	res.Bugs = bugs
+	res.Duplicates = duplicates
+
+	if err := mergeBackends(res, d, byShard); err != nil {
+		return nil, err
+	}
+	if err := mergeArtifacts(res, byShard, artifactDir); err != nil {
+		return nil, err
+	}
+
+	snap := mergeTelemetry(byShard, res)
+	trace, err := mergeTraces(byShard, res)
+	if err != nil {
+		return nil, err
+	}
+	return &Merged{Result: res, Telemetry: snap, Trace: trace}, nil
+}
+
+// mergeBugs re-folds the per-shard dedup: the campaign-wide recording
+// trigger of a defect is its globally earliest trigger task, every
+// other trigger (including each shard's own recording trigger, except
+// the winner's) is a duplicate. The winning shard's Bug carries the
+// canonical script/seeds — they were derived from that exact task, so
+// they match what the single-process run recorded.
+func mergeBugs(byShard []*Envelope) ([]Bug, int, error) {
+	type acc struct {
+		winner savedBug
+		tasks  []int
+	}
+	byDefect := map[string]*acc{}
+	var order []string
+	for _, e := range byShard {
+		for _, sb := range e.State.Bugs {
+			a := byDefect[sb.Defect]
+			if a == nil {
+				a = &acc{winner: sb}
+				byDefect[sb.Defect] = a
+				order = append(order, sb.Defect)
+			} else if sb.Tasks[0] < a.winner.Tasks[0] {
+				a.winner = sb
+			}
+			a.tasks = append(a.tasks, sb.Tasks...)
+		}
+	}
+	var bugs []Bug
+	duplicates := 0
+	for _, defect := range order {
+		a := byDefect[defect]
+		sort.Ints(a.tasks)
+		sb := a.winner
+		sb.Tasks = a.tasks
+		b, err := bugFromSaved(sb)
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: merge: %v", err)
+		}
+		bugs = append(bugs, b)
+		duplicates += len(a.tasks) - 1
+	}
+	sortBugs(bugs)
+	return bugs, duplicates, nil
+}
+
+// mergeBackends sums the per-backend report tallies and re-folds the
+// finding dedup the same way mergeBugs does: per dedup key, the
+// observation with the globally earliest task wins, and the merged
+// findings are ordered as classification would have emitted them —
+// by task, then backend index.
+func mergeBackends(res *Result, d CampaignConfig, byShard []*Envelope) error {
+	names := d.backendNames()
+	nameIdx := map[string]int{}
+	for i, n := range names {
+		nameIdx[n] = i
+	}
+	res.Backends = make([]BackendReport, len(names))
+	for _, e := range byShard {
+		for i, rep := range e.State.Backends {
+			dst := &res.Backends[i]
+			dst.Name = rep.Name
+			dst.Hermetic = rep.Hermetic
+			dst.Checks += rep.Checks
+			dst.Skipped += rep.Skipped
+			dst.Sat += rep.Sat
+			dst.Unsat += rep.Unsat
+			dst.Unknowns += rep.Unknowns
+			dst.Timeouts += rep.Timeouts
+			dst.Crashes += rep.Crashes
+			dst.Garbled += rep.Garbled
+			dst.Faults += rep.Faults
+			dst.Retries += rep.Retries
+			dst.Disagreements += rep.Disagreements
+			dst.Quarantined = dst.Quarantined || rep.Quarantined
+		}
+	}
+	best := map[bkKey]BackendFinding{}
+	for _, e := range byShard {
+		for _, f := range e.State.BackendFindings {
+			key := findingKey(nameIdx[f.Backend], f) // backend validated by envelope decode
+			if cur, ok := best[key]; !ok || f.Task < cur.Task {
+				best[key] = f
+			}
+		}
+	}
+	for _, f := range best {
+		res.BackendFindings = append(res.BackendFindings, f)
+	}
+	sort.Slice(res.BackendFindings, func(i, j int) bool {
+		a, b := res.BackendFindings[i], res.BackendFindings[j]
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return nameIdx[a.Backend] < nameIdx[b.Backend]
+	})
+	return nil
+}
+
+// findingKey rebuilds classifyBackends' dedup key from a recorded
+// finding: the oracle participates only for disagreements (a hang or
+// garble is the same failure whatever the expected status).
+func findingKey(backendIdx int, f BackendFinding) bkKey {
+	key := bkKey{backendIdx: backendIdx, kind: f.Kind, observed: f.Observed}
+	if f.Kind == bugdb.Disagreement {
+		key.oracle = f.Oracle
+	}
+	return key
+}
+
+// mergeArtifacts re-folds the bundle dedup. A shard writes a bundle at
+// its locally-first trigger of a finding, but the unsharded run writes
+// one bundle per finding, at its globally-first trigger — so a ref
+// survives the merge only when its task is the merged finding's
+// recording trigger. The surviving refs, in task order, are exactly
+// the single-run bundle list. When dstDir is set, each surviving
+// bundle is copied there from its shard's artifact directory.
+func mergeArtifacts(res *Result, byShard []*Envelope, dstDir string) error {
+	bugTask := map[string]int{}
+	for _, b := range res.Bugs {
+		bugTask[string(b.Defect)] = b.Tasks[0]
+	}
+	type fkey struct{ backend, kind, oracle, observed string }
+	findingTask := map[fkey]int{}
+	for _, f := range res.BackendFindings {
+		k := fkey{backend: f.Backend, kind: string(f.Kind), observed: f.Observed}
+		if f.Kind == bugdb.Disagreement {
+			k.oracle = f.Oracle
+		}
+		findingTask[k] = f.Task
+	}
+	keep := func(r artifactRef) bool {
+		switch {
+		case strings.HasPrefix(r.BugType, "backend-"):
+			k := fkey{backend: r.Backend, kind: strings.TrimPrefix(r.BugType, "backend-"), observed: r.Observed}
+			if bugdb.BugType(k.kind) == bugdb.Disagreement {
+				k.oracle = r.Oracle
+			}
+			t, ok := findingTask[k]
+			return ok && t == r.Task
+		case r.Defect != "":
+			t, ok := bugTask[r.Defect]
+			return ok && t == r.Task
+		default:
+			// Quarantine bundles are task-local (and only exist under a
+			// wall-clock watchdog, where bit-identity is already
+			// forfeit): the per-key dedup below is the whole fold.
+			return true
+		}
+	}
+
+	type ref struct {
+		artifactRef
+		srcDir string
+	}
+	var all []ref
+	for _, e := range byShard {
+		dir := e.Config.withDefaults().ArtifactDir
+		for _, r := range e.State.Artifacts {
+			all = append(all, ref{artifactRef: r, srcDir: dir})
+		}
+	}
+	// Stable sort by task: each task's refs live in exactly one shard's
+	// list, already in within-task write order, so stability preserves
+	// the single-run order for multi-artifact tasks.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Task < all[j].Task })
+	written := map[string]bool{}
+	for _, r := range all {
+		if written[r.Key] || !keep(r.artifactRef) {
+			continue
+		}
+		written[r.Key] = true
+		src := filepath.Join(r.srcDir, r.Key)
+		if dstDir == "" {
+			res.Artifacts = append(res.Artifacts, src)
+			continue
+		}
+		dst := filepath.Join(dstDir, r.Key)
+		if err := copyBundle(src, dst); err != nil {
+			return fmt.Errorf("harness: merge: artifact %s: %w", r.Key, err)
+		}
+		res.Artifacts = append(res.Artifacts, dst)
+	}
+	return nil
+}
+
+func copyBundle(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeTelemetry sums the shard snapshots, then overwrites the three
+// dedup-dependent counters with the merged values: per-shard findings
+// over-count duplicates that cross shard boundaries, and the funnel
+// invariant (counter totals == Result counts) must hold for the merged
+// pair exactly as it does for a single run.
+func mergeTelemetry(byShard []*Envelope, res *Result) telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	any := false
+	for _, e := range byShard {
+		if len(e.Telemetry.Counters) > 0 || len(e.Telemetry.Histograms) > 0 {
+			any = true
+		}
+		snap.Accumulate(e.Telemetry)
+	}
+	if !any {
+		return telemetry.Snapshot{}
+	}
+	fix := func(name string, v int) {
+		if v == 0 {
+			delete(snap.Counters, name)
+			return
+		}
+		if snap.Counters == nil {
+			snap.Counters = map[string]int64{}
+		}
+		snap.Counters[name] = int64(v)
+	}
+	fix("yy_funnel_findings_total", len(res.Bugs))
+	fix("yy_funnel_duplicates_total", res.Duplicates)
+	fix("yy_backend_findings_total", len(res.BackendFindings))
+	return snap
+}
+
+// mergeTraces interleaves the shard traces into global task order and
+// rewrites the two dedup-dependent flags per record — finding (this
+// task recorded the bug) and duplicate (it re-triggered one) — from
+// the merged trigger lists. Everything else in a record is task-local
+// and already identical to the single-run record, so re-marshaling
+// yields byte-identical JSONL.
+func mergeTraces(byShard []*Envelope, res *Result) ([]byte, error) {
+	finding := map[int]bool{}
+	duplicate := map[int]bool{}
+	for _, b := range res.Bugs {
+		finding[b.Tasks[0]] = true
+		for _, t := range b.Tasks[1:] {
+			duplicate[t] = true
+		}
+	}
+	var recs []TraceRecord
+	traced := false
+	for i, e := range byShard {
+		if len(e.Trace) == 0 {
+			continue
+		}
+		traced = true
+		rs, err := DecodeTrace(bytes.NewReader(e.Trace))
+		if err != nil {
+			return nil, fmt.Errorf("harness: merge: shard %d trace: %w", i, err)
+		}
+		recs = append(recs, rs...)
+	}
+	if !traced {
+		return nil, nil
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Task < recs[j].Task })
+	var buf bytes.Buffer
+	for i := range recs {
+		recs[i].Finding = finding[recs[i].Task]
+		recs[i].Duplicate = duplicate[recs[i].Task]
+		data, err := json.Marshal(&recs[i])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}

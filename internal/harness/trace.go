@@ -169,15 +169,24 @@ func countsOf(r *Result) resCounts {
 type recorder struct {
 	tr *telemetry.Tracker
 	jw *telemetry.JSONLWriter
+	// suppressVet drops corpus-vetting telemetry: set on resume legs and
+	// non-zero shards, which rebuild the corpus deterministically but
+	// must not re-count seed generation (see runControls.suppressVet).
+	suppressVet bool
 }
 
 // active reports whether per-task deltas need collecting at all.
 func (rc *recorder) active() bool { return rc.tr != nil || rc.jw != nil }
 
+// flush pushes buffered trace records to the underlying writer so a
+// live reader (the campaign service's trace endpoint) sees every record
+// up to the current classification frontier.
+func (rc *recorder) flush() { rc.jw.Flush() }
+
 // vetted folds the corpus-building telemetry in, in job order: per-slot
 // generation tries and per-slot engine-counter deltas.
 func (rc *recorder) vetted(tries []int, deltas []telemetry.Snapshot) {
-	if rc.tr == nil {
+	if rc.tr == nil || rc.suppressVet {
 		return
 	}
 	for j := range tries {

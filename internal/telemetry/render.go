@@ -140,6 +140,20 @@ func (j *JSONLWriter) Emit(rec any) {
 	}
 }
 
+// Flush forces buffered records out to the underlying writer without
+// closing: the campaign service calls it after each classified task so
+// the trace endpoint streams records live instead of only at campaign
+// end. Errors are sticky, like Emit's.
+func (j *JSONLWriter) Flush() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
 // Close flushes and returns the first error encountered.
 func (j *JSONLWriter) Close() error {
 	if j == nil {

@@ -283,6 +283,41 @@ func (t *Tracker) Merge(other Snapshot) {
 	}
 }
 
+// Accumulate adds other into s, mutating s (maps are initialized on
+// first use). Unlike Tracker.Merge it needs no registry — shard
+// envelopes may in principle carry metric names this process never
+// registered — so it is the primitive harness.Merge and the campaign
+// service use to fold per-shard (or per-job) snapshots together.
+// Histogram bucket slices are extended to the longer of the two.
+func (s *Snapshot) Accumulate(other Snapshot) {
+	if len(other.Counters) > 0 && s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	if len(other.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = map[string]HistValues{}
+	}
+	for name, hv := range other.Histograms {
+		cur := s.Histograms[name]
+		n := len(cur.Buckets)
+		if len(hv.Buckets) > n {
+			n = len(hv.Buckets)
+		}
+		merged := make([]int64, n)
+		copy(merged, cur.Buckets)
+		for i, c := range hv.Buckets {
+			merged[i] += c
+		}
+		cur.Buckets = merged
+		cur.Overflow += hv.Overflow
+		cur.Count += hv.Count
+		cur.Sum += hv.Sum
+		s.Histograms[name] = cur
+	}
+}
+
 // Diff returns the counter-wise difference s − older, dropping zero
 // entries: the per-task delta used for traces. Histograms are not
 // diffed (observations are per-task already) and are omitted.
