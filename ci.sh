@@ -52,6 +52,19 @@ echo "== go test -race (second oracles) =="
 # must produce zero invalid-model reports over the generator corpus.
 go test -race -timeout 10m -run 'TestModelValidationOracleFindsInjected|TestReferenceModelValidationClean|TestMutationCampaignFindsGuardCollapse' ./internal/harness/
 
+echo "== go test -race (consensus oracle) =="
+# The consensus-oracle suite full-length under the race detector (the
+# seeded-dissenter findings live past iteration 60, so -short would
+# scale them away): majority vote outvoting a seeded dissenter with
+# deduplicated findings, determinism across thread counts, resume, and
+# a 3-way shard merge, metamorphic variant pairs with a known-policy
+# control arm, the tri-state contradiction predicates, the quorum
+# knob, and the oracle counter invariants. The breaker verdict table
+# and spool retention ride along from the same change.
+go test -race -timeout 15m -run 'TestMajority|TestMetamorphic|TestUnknownOracle|TestContradiction|TestQuorum|TestConsensusValidation|TestOracleCounter' ./internal/harness/
+go test -race -timeout 5m -run 'TestHealth' ./internal/backend/
+go test -race -timeout 5m -run 'TestSpoolRetention' ./internal/service/
+
 echo "== go test -race (campaign service) =="
 # Checkpoint/resume and shard/merge determinism suites plus the HTTP
 # control plane full-length under the race detector: kill-at-every-
@@ -119,6 +132,36 @@ cmp "$tmpsvc/ref.prom" "$tmpsvc/merged.prom"
 cmp "$tmpsvc/ref.jsonl" "$tmpsvc/merged.jsonl"
 diff -r "$tmpsvc/ref-art" "$tmpsvc/merged-art" >/dev/null
 rm -rf "$tmpsvc"
+
+echo "== consensus oracle smoke =="
+# End-to-end through the CLI: a wild-mode campaign (unknown ground
+# truth) with two agreeing sim backends and a fakesolver that answers
+# sat unconditionally. Under -oracle majority the dissenter is
+# outvoted 3-1 on every unsat consensus and all of those collapse into
+# exactly one deduplicated finding; under the default known-status
+# policy the same run must stay silent — unknown-status tasks abstain
+# rather than contradict.
+tmporacle=$(mktemp -d)
+go build -o "$tmporacle/yy" ./cmd/yinyang
+go build -o "$tmporacle/fakesolver" ./internal/backend/fakesolver
+oracleargs="-sut cvc4sim -release 1.5 -logics QF_NRA -mode wild -nomodelcheck \
+    -iters 60 -pool 8 -seed 31 -backend cvc4sim@1.6 -backend cvc4sim@1.7"
+"$tmporacle/yy" $oracleargs -oracle majority \
+    -backend "dissent=$tmporacle/fakesolver -mode sat" > "$tmporacle/maj.txt"
+found=$(grep -c 'backend-majority-disagreement.* dissent ' "$tmporacle/maj.txt" || true)
+[ "$found" -eq 1 ] || {
+    echo "consensus smoke: want exactly 1 deduplicated majority finding for the dissenter, got $found:" >&2
+    cat "$tmporacle/maj.txt" >&2
+    exit 1
+}
+"$tmporacle/yy" $oracleargs -oracle known \
+    -backend "dissent=$tmporacle/fakesolver -mode sat" > "$tmporacle/known.txt"
+if grep -q 'backend-majority-disagreement\|backend-disagreement' "$tmporacle/known.txt"; then
+    echo "consensus smoke: known-status policy flagged an unknown-status task instead of abstaining:" >&2
+    cat "$tmporacle/known.txt" >&2
+    exit 1
+fi
+rm -rf "$tmporacle"
 
 echo "== static analysis =="
 # The typed, call-graph-aware Go linter must be clean over the whole

@@ -6,7 +6,8 @@
 //
 //	yinyang [-sut z3sim] [-release trunk] [-logics QF_S,QF_NRA]
 //	        [-iters 200] [-pool 20] [-seed 1] [-threads 1]
-//	        [-mode fusion|mutate|both] [-nomodelcheck]
+//	        [-mode fusion|mutate|both|wild] [-nomodelcheck]
+//	        [-oracle known|majority|metamorphic|auto] [-quorum 2]
 //	        [-concat] [-outdir bugs/] [-artifacts artifacts/]
 //	        [-fuel 10000000] [-walltimeout 0]
 //	        [-backend cvc4sim@1.5] [-backend 'z3=/usr/bin/z3 -in']
@@ -17,7 +18,7 @@
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	yinyang -merge [-artifacts merged/] [-metrics m.prom] [-trace t.jsonl]
 //	        [-fingerprint fp.json] envelope.json...
-//	yinyang -serve :8080 [-spool dir]
+//	yinyang -serve :8080 [-spool dir] [-spool-retain N]
 //
 // The repeatable -backend flag layers a differential cross-check
 // oracle over the campaign. Two forms are accepted:
@@ -29,6 +30,22 @@
 //	    deadline, retry with backoff, circuit breaker. A persistently
 //	    failing binary is quarantined and the campaign completes in
 //	    degraded mode, reported per backend and via exit status 4.
+//
+// The -oracle flag picks the consensus policy for tasks whose ground
+// truth is unknown (semantic fusion normally knows the answer by
+// construction; -mode wild and skipped model checks do not):
+//
+//	known        — classify only against the constructed ground truth;
+//	    unknown-status tasks are never cross-checked (the default, and
+//	    the paper's oracle).
+//	majority     — fold every definite verdict (SUT included, as the
+//	    pseudo-voter "sut") into a majority vote; voters outvoted by a
+//	    consensus of at least -quorum definite votes are reported as
+//	    majority-disagreement findings.
+//	metamorphic  — derive a relation-preserving variant of each
+//	    unknown-status formula and flag verdict pairs that violate the
+//	    relation (each voter checked against itself).
+//	auto         — majority and metamorphic combined.
 //
 // Campaign lifecycle flags:
 //
@@ -46,7 +63,9 @@
 //	-merge               fold shard envelopes (positional args) into
 //	    one campaign result; -artifacts names the merged bundle dir.
 //	-serve addr          run the campaign control-plane HTTP service;
-//	    -spool makes jobs durable across restarts.
+//	    -spool makes jobs durable across restarts; -spool-retain N
+//	    caps the terminal (done/failed) job history — running and
+//	    paused jobs are never collected.
 //
 // Exit status: 0 success, 1 campaign or I/O error, 2 flag misuse,
 // 3 paused at a checkpoint, 4 completed in degraded mode.
@@ -153,8 +172,10 @@ func run() int {
 	pool := flag.Int("pool", 20, "seeds per status per logic")
 	seed := flag.Int64("seed", 1, "random seed")
 	threads := flag.Int("threads", 1, "parallel workers")
-	mode := flag.String("mode", "fusion", "test derivation: fusion, mutate, or both (interleaved)")
+	mode := flag.String("mode", "fusion", "test derivation: fusion, mutate, both (interleaved), or wild (unknown ground truth)")
 	noModelCheck := flag.Bool("nomodelcheck", false, "disable the model-validation oracle on sat verdicts")
+	oracle := flag.String("oracle", "known", "consensus policy for unknown-status tasks: known, majority, metamorphic, or auto")
+	quorum := flag.Int("quorum", 0, "minimum definite votes for a majority consensus (0 = default 2)")
 	concat := flag.Bool("concat", false, "ConcatFuzz baseline (no variable fusion)")
 	fuel := flag.Int64("fuel", 0, "deterministic step budget per solve (0 = solver default, negative = unlimited)")
 	wallTimeout := flag.Duration("walltimeout", 0, "wall-clock watchdog per solve (0 = off); cut-off runs are quarantined, and results stop being thread-count invariant")
@@ -177,10 +198,11 @@ func run() int {
 	merge := flag.Bool("merge", false, "merge shard envelopes (positional arguments) into one campaign result")
 	serveAddr := flag.String("serve", "", "run the campaign service on this address instead of a one-shot campaign")
 	spoolDir := flag.String("spool", "", "with -serve: persist jobs under this directory, reloading them on restart")
+	spoolRetain := flag.Int("spool-retain", 0, "with -serve -spool: keep at most N terminal (done/failed) jobs, 0 = keep all")
 	flag.Parse()
 
 	if *serveAddr != "" {
-		return runServe(*serveAddr, *spoolDir)
+		return runServe(*serveAddr, *spoolDir, *spoolRetain)
 	}
 	if *merge {
 		return runMerge(flag.Args(), *artifacts, *metricsPath, *tracePath, *fingerprintPath, *outdir, *fuel)
@@ -204,6 +226,8 @@ func run() int {
 		Seed:              *seed,
 		Threads:           *threads,
 		Mode:              *mode,
+		Oracle:            *oracle,
+		Quorum:            *quorum,
 		DisableModelCheck: *noModelCheck,
 		ConcatOnly:        *concat,
 		Fuel:              *fuel,
@@ -375,8 +399,8 @@ func run() int {
 
 // runServe runs the campaign control-plane HTTP service until the
 // process is killed.
-func runServe(addr, spool string) int {
-	srv, err := service.New(spool)
+func runServe(addr, spool string, retain int) int {
+	srv, err := service.NewWithRetention(spool, retain)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return exitError
@@ -449,6 +473,14 @@ func runMerge(paths []string, artifactsDir, metricsPath, tracePath, fingerprintP
 func printResult(res *harness.Result, artifactsDir, outdir string, fuel int64) {
 	fmt.Printf("tests: %d   unknowns: %d   timeouts: %d   bugs: %d   duplicates: %d   invalid-inputs: %d   quarantined: %d\n",
 		res.Tests, res.Unknowns, res.Timeouts, len(res.Bugs), res.Duplicates, res.InvalidInputs, res.Quarantined)
+	if res.OracleVotes > 0 || res.OracleConsensus > 0 || res.OracleAbstained > 0 {
+		fmt.Printf("oracle majority: votes: %d   consensus: %d   abstained: %d   sut-outvoted: %d\n",
+			res.OracleVotes, res.OracleConsensus, res.OracleAbstained, res.SutOutvoted)
+	}
+	if res.MetamorphicPairs > 0 || res.MetamorphicSkips > 0 {
+		fmt.Printf("oracle metamorphic: pairs: %d   skips: %d   sut-violations: %d\n",
+			res.MetamorphicPairs, res.MetamorphicSkips, res.SutViolations)
+	}
 	if len(res.Artifacts) > 0 {
 		fmt.Printf("artifacts: %d bundles under %s\n", len(res.Artifacts), artifactsDir)
 	}

@@ -54,12 +54,22 @@ func (h *Health) Record(v Verdict) {
 	defer h.mu.Unlock()
 	switch v {
 	case Timeout, Crash, Garbled:
+		// Hard failures: the check consumed its full deadline or retry
+		// budget without producing a verdict.
 		h.streak++
 		if h.streak >= h.threshold {
 			h.open = true
 		}
 	case Sat, Unsat, Unknown:
+		// A parsed verdict proves the binary is alive; the streak resets.
 		h.streak = 0
+	default:
+		// Fault and Quarantined are deliberate no-ops, by decision rather
+		// than omission. A Fault is our own adapter's panic — no evidence
+		// about the external binary either way, and crucially it must not
+		// reset the streak of a wedged binary. A Quarantined verdict means
+		// no check ran at all (the breaker was already open), so there is
+		// nothing to fold in; counting it would double-charge the streak.
 	}
 }
 

@@ -1,0 +1,64 @@
+package backend
+
+import "testing"
+
+// TestHealthRecordEveryVerdict pins the breaker's reaction to every
+// verdict in the taxonomy: hard failures grow the streak, parsed
+// verdicts reset it, and Fault/Quarantined leave it exactly where it
+// was (the explicit default branch in Record — a Fault must not reset
+// a wedged binary's streak, and a Quarantined check never ran).
+func TestHealthRecordEveryVerdict(t *testing.T) {
+	cases := []struct {
+		verdict     Verdict
+		afterZero   int // streak after recording onto a fresh breaker
+		afterStreak int // streak after recording onto streak=2
+	}{
+		{Sat, 0, 0},
+		{Unsat, 0, 0},
+		{Unknown, 0, 0},
+		{Timeout, 1, 3},
+		{Crash, 1, 3},
+		{Garbled, 1, 3},
+		{Fault, 0, 2},
+		{Quarantined, 0, 2},
+		{Verdict(99), 0, 2}, // out-of-range values take the default branch too
+	}
+	for _, tc := range cases {
+		h := NewHealth(10)
+		h.Record(tc.verdict)
+		if streak, _ := h.State(); streak != tc.afterZero {
+			t.Errorf("Record(%v) on fresh breaker: streak = %d, want %d", tc.verdict, streak, tc.afterZero)
+		}
+
+		h = NewHealth(10)
+		h.Restore(2, false)
+		h.Record(tc.verdict)
+		if streak, _ := h.State(); streak != tc.afterStreak {
+			t.Errorf("Record(%v) on streak 2: streak = %d, want %d", tc.verdict, streak, tc.afterStreak)
+		}
+	}
+}
+
+// TestHealthFaultDoesNotDelayOpening replays the motivating scenario:
+// a wedged binary whose hard failures are interleaved with our own
+// adapter faults must still trip the breaker after threshold hard
+// failures — the faults neither reset nor advance the streak.
+func TestHealthFaultDoesNotDelayOpening(t *testing.T) {
+	h := NewHealth(3)
+	for i := 0; i < 2; i++ {
+		h.Record(Timeout)
+		h.Record(Fault)
+	}
+	if !h.Allow() {
+		t.Fatal("breaker opened after 2 hard failures with threshold 3")
+	}
+	h.Record(Crash)
+	if h.Allow() {
+		t.Fatal("breaker still closed after 3 hard failures interleaved with faults")
+	}
+	// Quarantined verdicts recorded while open must not disturb state.
+	h.Record(Quarantined)
+	if streak, open := h.State(); streak != 3 || !open {
+		t.Fatalf("after Quarantined: streak=%d open=%v, want 3 true", streak, open)
+	}
+}

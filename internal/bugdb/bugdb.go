@@ -48,6 +48,15 @@ const (
 	// Garbled marks a backend that completed but produced no parseable
 	// verdict (truncated, nonsense, or persistently empty output).
 	Garbled BugType = "garbled"
+	// MajorityDisagreement marks a consensus-oracle finding: a voter's
+	// definite verdict was outvoted by the quorum of the other voters on
+	// an unknown-status input.
+	MajorityDisagreement BugType = "majority-disagreement"
+	// MetamorphicViolation marks a consensus-oracle finding: one
+	// solver's verdicts on a metamorphic pair (original plus a variant
+	// with a known sat/unsat-preserving relation) contradict the pair
+	// relation — a self-inconsistency that needs no ground truth.
+	MetamorphicViolation BugType = "metamorphic-violation"
 )
 
 // Entry is one catalogue row.

@@ -39,13 +39,22 @@ type Status int8
 const (
 	StatusSat Status = iota
 	StatusUnsat
+	// StatusUnknown marks an input whose ground truth no generator
+	// constructed (wild mutations). Such tasks cannot be judged against
+	// a known-status oracle; they flow to the consensus policies in
+	// internal/harness instead.
+	StatusUnknown
 )
 
 func (s Status) String() string {
-	if s == StatusSat {
+	switch s {
+	case StatusSat:
 		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	default:
+		return "unknown"
 	}
-	return "unsat"
 }
 
 // Seed is a formula with its ground-truth status. Sat seeds carry a

@@ -71,6 +71,20 @@ type Manifest struct {
 	BackendExit    int      `json:"backend_exit,omitempty"`
 	BackendStderr  string   `json:"backend_stderr,omitempty"`
 	BackendRetries int      `json:"backend_retries,omitempty"`
+
+	// Consensus-oracle coordinates, set on majority/metamorphic finding
+	// bundles. Votes is the full vote vector ("voter=verdict", SUT
+	// first, abstainers included); Consensus the majority outcome;
+	// MetaRelation/MetaRules/VariantVerdicts describe the metamorphic
+	// pair (the variant script itself is persisted as variant.smt2
+	// alongside fused.smt2).
+	OraclePolicy    string   `json:"oracle_policy,omitempty"`
+	Quorum          int      `json:"quorum,omitempty"`
+	Votes           []string `json:"votes,omitempty"`
+	Consensus       string   `json:"consensus,omitempty"`
+	MetaRelation    string   `json:"meta_relation,omitempty"`
+	MetaRules       []string `json:"meta_rules,omitempty"`
+	VariantVerdicts []string `json:"variant_verdicts,omitempty"`
 }
 
 // artifactRef records one written bundle for checkpointing and shard
@@ -139,6 +153,12 @@ func bugHash(sut, release, obs, fusedText string) string {
 // for checkpointing and shard merging. Returns the bundle path (""
 // when skipped as a duplicate).
 func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtlib.Script, task int) string {
+	return w.writeExtra(m, ancestors, script, task, nil)
+}
+
+// writeExtra is write with additional bundle files (name → contents):
+// metamorphic findings persist the variant script as variant.smt2.
+func (w *artifactWriter) writeExtra(m Manifest, ancestors [2]*core.Seed, script *smtlib.Script, task int, extra map[string]string) string {
 	if w == nil {
 		return ""
 	}
@@ -149,7 +169,7 @@ func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtl
 	}
 	w.written[key] = true
 	dir := filepath.Join(w.dir, key)
-	if err := w.writeBundle(dir, m, ancestors, fusedText); err != nil && w.err == nil {
+	if err := w.writeBundle(dir, m, ancestors, fusedText, extra); err != nil && w.err == nil {
 		w.err = err
 	}
 	w.paths = append(w.paths, dir)
@@ -165,7 +185,7 @@ func (w *artifactWriter) write(m Manifest, ancestors [2]*core.Seed, script *smtl
 	return dir
 }
 
-func (w *artifactWriter) writeBundle(dir string, m Manifest, ancestors [2]*core.Seed, fusedText string) error {
+func (w *artifactWriter) writeBundle(dir string, m Manifest, ancestors [2]*core.Seed, fusedText string, extra map[string]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -173,6 +193,9 @@ func (w *artifactWriter) writeBundle(dir string, m Manifest, ancestors [2]*core.
 		"seed1.smt2": smtlib.Print(ancestors[0].Script),
 		"seed2.smt2": smtlib.Print(ancestors[1].Script),
 		"fused.smt2": fusedText,
+	}
+	for name, text := range extra {
+		files[name] = text
 	}
 	for name, text := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
@@ -213,7 +236,11 @@ type ReplayReport struct {
 	// DefectFired reports whether the manifest's primary defect fired
 	// again (vacuously true for quarantine bundles with no defect).
 	DefectFired bool
-	Observed    solver.Result
+	// VariantMatches reports whether the regenerated metamorphic
+	// variant is byte-identical to the persisted variant.smt2
+	// (vacuously true for bundles without one).
+	VariantMatches bool
+	Observed       solver.Result
 	// Backend names the cross-check backend a backend-finding bundle
 	// implicates ("" for SUT findings). Replay regenerates the fused
 	// test and re-runs the SUT, but never re-invokes the backend — the
@@ -226,7 +253,7 @@ type ReplayReport struct {
 
 // Exact reports a fully faithful reproduction.
 func (r ReplayReport) Exact() bool {
-	return r.FusedMatches && r.ResultMatches && r.DefectFired
+	return r.FusedMatches && r.ResultMatches && r.DefectFired && r.VariantMatches
 }
 
 // Replay regenerates the bundle's fused test from its RNG coordinates
@@ -255,6 +282,8 @@ func Replay(bundleDir string) (ReplayReport, error) {
 		ConcatOnly: m.ConcatOnly,
 		Fuel:       m.Fuel,
 		Mode:       CampaignMode(m.CampaignMode),
+		Oracle:     OraclePolicy(m.OraclePolicy),
+		Quorum:     m.Quorum,
 	}
 	for _, d := range m.InjectDefects {
 		cfg.InjectDefects = append(cfg.InjectDefects, solver.Defect(d))
@@ -285,9 +314,22 @@ func Replay(bundleDir string) (ReplayReport, error) {
 			(out.run.Crashed && m.Observed == "crash") ||
 			(out.run.InternalFault && m.Observed == "internal-fault")
 	}
+	rep.VariantMatches = true
+	if wantVariant, err := os.ReadFile(filepath.Join(bundleDir, "variant.smt2")); err == nil {
+		// A metamorphic bundle: the variant must regenerate byte-for-byte
+		// from the same coordinates (its RNG stream is the task's
+		// metaSeed domain, replayed by runTask under the manifest's
+		// oracle policy).
+		rep.VariantMatches = out.variant != nil && smtlib.Print(out.variant.Script) == string(wantVariant)
+	}
 	rep.DefectFired = m.Defect == ""
 	for _, d := range out.run.DefectsFired {
 		if string(d) == m.Defect {
+			rep.DefectFired = true
+		}
+	}
+	for _, d := range out.variantRun.DefectsFired {
+		if string(d) == m.Defect && m.Defect != "" {
 			rep.DefectFired = true
 		}
 	}

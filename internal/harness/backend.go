@@ -34,8 +34,9 @@ var (
 // campaign's bit-identical thread-count invariance (its only
 // "failures" are deterministic fuel timeouts, so it carries no
 // circuit breaker). fuel follows Campaign.Fuel semantics: 0 default,
-// >0 override, <0 unlimited.
-func SimBackendSpec(s bugdb.SUT, release string, fuel int64) backend.Spec {
+// >0 override, <0 unlimited. inject adds defects beyond the release's
+// catalogued set — consensus tests use it to script a dissenter.
+func SimBackendSpec(s bugdb.SUT, release string, fuel int64, inject ...solver.Defect) backend.Spec {
 	if release == "" {
 		release = "trunk"
 	}
@@ -47,6 +48,9 @@ func SimBackendSpec(s bugdb.SUT, release string, fuel int64) backend.Spec {
 			defects, err := bugdb.DefectsIn(s, release)
 			if err != nil {
 				return nil, err
+			}
+			for _, d := range inject {
+				defects[d] = true
 			}
 			lim := solver.DefaultLimits()
 			if fuel > 0 {
@@ -83,6 +87,13 @@ type BackendReport struct {
 	// known-status oracle (including re-triggers of deduplicated
 	// findings).
 	Disagreements int
+	// Outvoted counts this backend's definite verdicts outvoted by the
+	// majority policy's consensus; Violations counts its metamorphic
+	// pair violations. Both include re-triggers of deduplicated
+	// findings. omitempty keeps known-policy checkpoints, fingerprints,
+	// and the pre-consensus fuzz corpus byte-identical.
+	Outvoted   int `json:"Outvoted,omitempty"`
+	Violations int `json:"Violations,omitempty"`
 	// Quarantined reports the breaker state at campaign end.
 	Quarantined bool
 }
@@ -94,14 +105,23 @@ type BackendReport struct {
 // backend solver (or the cross-check harness), not a catalogued defect
 // of the solver under test.
 type BackendFinding struct {
+	// Backend names the implicated voter; the pseudo-name "sut" marks a
+	// consensus finding attributed to the solver under test itself.
 	Backend string
-	Kind    bugdb.BugType // Disagreement, Crash, Garbled, or Performance (timeout)
+	Kind    bugdb.BugType // Disagreement, Crash, Garbled, Performance (timeout), MajorityDisagreement, or MetamorphicViolation
 	Logic   string
-	// Oracle is the known status of the test; Observed the backend's
-	// classified verdict.
+	// Oracle is the reference the observation contradicts: the known
+	// status for Disagreement, the consensus verdict for
+	// MajorityDisagreement, the pair relation for MetamorphicViolation.
+	// Observed is the backend's classified verdict (for metamorphic
+	// findings, the "orig/variant" verdict pair).
 	Oracle   string
 	Observed string
 	Reason   string
+	// Defect names the catalogued defect fired on a consensus finding
+	// attributed to the SUT ("" otherwise). omitempty keeps the
+	// pre-consensus fuzz corpus decodable unchanged.
+	Defect string `json:"Defect,omitempty"`
 	// ExitCode and Stderr carry the process post-mortem for external
 	// backends (-1/"" for in-process adapters).
 	ExitCode int
@@ -148,33 +168,11 @@ func classifyBackends(res *Result, cfg Campaign, aw *artifactWriter, bt *backend
 	logic := cfg.Logics[out.id/cfg.Iterations]
 	for i, o := range out.backendRuns {
 		rep := &res.Backends[i]
-		if o.Verdict == backend.Quarantined {
-			rep.Skipped++
+		kind, skipped := tallyBackend(rep, o)
+		if skipped {
 			continue
 		}
-		rep.Checks++
-		rep.Retries += o.Retries
-		var kind bugdb.BugType
-		switch o.Verdict {
-		case backend.Sat:
-			rep.Sat++
-		case backend.Unsat:
-			rep.Unsat++
-		case backend.Unknown:
-			rep.Unknowns++
-		case backend.Timeout:
-			rep.Timeouts++
-			kind = bugdb.Performance
-		case backend.Crash:
-			rep.Crashes++
-			kind = bugdb.Crash
-		case backend.Garbled:
-			rep.Garbled++
-			kind = bugdb.Garbled
-		case backend.Fault:
-			rep.Faults++ // our adapter's bug: tallied, never a finding
-		}
-		if o.Verdict.Definite() && (o.Verdict == backend.Sat) != (oracle == core.StatusSat) {
+		if o.Verdict.Definite() && backendContradicts(o.Verdict, oracle) {
 			rep.Disagreements++
 			kind = bugdb.Disagreement
 		}
@@ -217,6 +215,63 @@ func classifyBackends(res *Result, cfg Campaign, aw *artifactWriter, bt *backend
 			aw.write(m, out.ancestors, out.testScript(), out.id)
 		}
 	}
+	// Metamorphic-variant solves consume the same backend budget as
+	// primary checks, so their verdicts are tallied into the reports.
+	// They NEVER produce findings here: a variant script has no known
+	// status for the differential oracle to check against — violations
+	// of the pair relation are classifyConsensus's business.
+	for i, o := range out.variantBackends {
+		tallyBackend(&res.Backends[i], o)
+	}
+}
+
+// tallyBackend folds one backend output into its report tallies and
+// returns the contained-failure kind it classifies as ("" for parsed
+// verdicts) plus whether the check was suppressed by an open breaker.
+func tallyBackend(rep *BackendReport, o backend.Output) (kind bugdb.BugType, skipped bool) {
+	if o.Verdict == backend.Quarantined {
+		rep.Skipped++
+		return "", true
+	}
+	rep.Checks++
+	rep.Retries += o.Retries
+	switch o.Verdict {
+	case backend.Sat:
+		rep.Sat++
+	case backend.Unsat:
+		rep.Unsat++
+	case backend.Unknown:
+		rep.Unknowns++
+	case backend.Timeout:
+		rep.Timeouts++
+		kind = bugdb.Performance
+	case backend.Crash:
+		rep.Crashes++
+		kind = bugdb.Crash
+	case backend.Garbled:
+		rep.Garbled++
+		kind = bugdb.Garbled
+	case backend.Fault:
+		rep.Faults++ // our adapter's bug: tallied, never a finding
+	}
+	return kind, false
+}
+
+// backendContradicts reports whether a backend verdict refutes the
+// ground truth. Mirrors verdictContradicts: only a definite verdict on
+// a definite oracle contradicts — an unknown-status test abstains. The
+// earlier predicate `(v == Sat) != (oracle == StatusSat)` collapsed
+// StatusUnknown into the unsat arm, charging every sat backend verdict
+// on an unknown-status input as a disagreement.
+func backendContradicts(v backend.Verdict, oracle core.Status) bool {
+	switch oracle {
+	case core.StatusSat:
+		return v == backend.Unsat
+	case core.StatusUnsat:
+		return v == backend.Sat
+	default:
+		return false
+	}
 }
 
 // finishBackends fills the end-of-campaign breaker states into the
@@ -246,6 +301,11 @@ func validateBackends(specs []backend.Spec) error {
 	for _, s := range specs {
 		if s.Name == "" {
 			return fmt.Errorf("harness: backend with empty name")
+		}
+		if s.Name == "sut" {
+			// Reserved: the consensus policies use "sut" as the
+			// pseudo-voter name for the solver under test.
+			return fmt.Errorf("harness: backend name %q is reserved", s.Name)
 		}
 		if names[s.Name] {
 			return fmt.Errorf("harness: duplicate backend name %q", s.Name)

@@ -52,6 +52,10 @@ type SimBackendConfig struct {
 	SUT     string `json:"sut"`
 	Release string `json:"release,omitempty"` // "" = trunk
 	Fuel    int64  `json:"fuel,omitempty"`    // Campaign.Fuel semantics
+	// InjectDefects adds defects beyond the release's catalogued set,
+	// mirroring SimBackendSpec's variadic parameter (consensus suites
+	// script a dissenting voter with it).
+	InjectDefects []string `json:"inject_defects,omitempty"`
 }
 
 // ProcessBackendConfig selects an external SMT-LIB solver binary under
@@ -134,7 +138,11 @@ func (bc BackendConfig) spec() (backend.Spec, error) {
 		return backend.Spec{}, err
 	}
 	if bc.Sim != nil {
-		return SimBackendSpec(bugdb.SUT(bc.Sim.SUT), bc.Sim.Release, bc.Sim.Fuel), nil
+		var inject []solver.Defect
+		for _, d := range bc.Sim.InjectDefects {
+			inject = append(inject, solver.Defect(d))
+		}
+		return SimBackendSpec(bugdb.SUT(bc.Sim.SUT), bc.Sim.Release, bc.Sim.Fuel, inject...), nil
 	}
 	p := bc.Process
 	return backend.ProcessSpec(backend.ProcessConfig{
@@ -178,6 +186,11 @@ type CampaignConfig struct {
 	ArtifactDir   string          `json:"artifact_dir,omitempty"`
 	InjectDefects []string        `json:"inject_defects,omitempty"`
 	Backends      []BackendConfig `json:"backends,omitempty"`
+	// Oracle and Quorum mirror Campaign.Oracle/Quorum. omitempty keeps
+	// pre-consensus checkpoints decodable and known-policy documents
+	// byte-identical to what older builds wrote.
+	Oracle string `json:"oracle,omitempty"`
+	Quorum int    `json:"quorum,omitempty"`
 	// Shard/Shards split the task space across independent processes:
 	// this config's process classifies exactly the global task ids with
 	// id % Shards == Shard. Shards ≤ 1 means unsharded.
@@ -212,6 +225,12 @@ func (cc CampaignConfig) withDefaults() CampaignConfig {
 	if cc.Shards <= 0 {
 		cc.Shards = 1
 	}
+	if cc.Oracle == "" {
+		cc.Oracle = string(OracleKnown)
+	}
+	if cc.Quorum == 0 {
+		cc.Quorum = 2
+	}
 	return cc
 }
 
@@ -225,9 +244,17 @@ func (cc CampaignConfig) Validate() error {
 		return fmt.Errorf("harness: config: %v", err)
 	}
 	switch CampaignMode(d.Mode) {
-	case ModeFusion, ModeMutate, ModeBoth:
+	case ModeFusion, ModeMutate, ModeBoth, ModeWild:
 	default:
 		return fmt.Errorf("harness: config: unknown campaign mode %q", d.Mode)
+	}
+	switch OraclePolicy(d.Oracle) {
+	case OracleKnown, OracleMajority, OracleMetamorphic, OracleAuto:
+	default:
+		return fmt.Errorf("harness: config: unknown oracle policy %q", d.Oracle)
+	}
+	if cc.Quorum < 0 {
+		return fmt.Errorf("harness: config: negative quorum %d", cc.Quorum)
 	}
 	if d.ConcatOnly && CampaignMode(d.Mode) != ModeFusion {
 		return fmt.Errorf("harness: config: ConcatOnly requires fusion mode, got %q", d.Mode)
@@ -264,6 +291,9 @@ func (cc CampaignConfig) Validate() error {
 			return fmt.Errorf("harness: config: backend %d: %v", i, err)
 		}
 		n := bc.name()
+		if n == "sut" {
+			return fmt.Errorf("harness: config: backend name %q is reserved", n)
+		}
 		if names[n] {
 			return fmt.Errorf("harness: config: duplicate backend name %q", n)
 		}
@@ -289,6 +319,8 @@ func (cc CampaignConfig) campaign() (Campaign, error) {
 		Fuel:              cc.Fuel,
 		WallTimeout:       cc.WallTimeout,
 		ArtifactDir:       cc.ArtifactDir,
+		Oracle:            OraclePolicy(cc.Oracle),
+		Quorum:            cc.Quorum,
 	}
 	for _, l := range cc.Logics {
 		cfg.Logics = append(cfg.Logics, gen.Logic(l))
@@ -390,7 +422,7 @@ func bugFromSaved(sb savedBug) (Bug, error) {
 	if sb.Defect == "" {
 		return Bug{}, fmt.Errorf("bug with empty defect")
 	}
-	if sb.Oracle != int(core.StatusSat) && sb.Oracle != int(core.StatusUnsat) {
+	if sb.Oracle < int(core.StatusSat) || sb.Oracle > int(core.StatusUnknown) {
 		return Bug{}, fmt.Errorf("bug %s: oracle %d out of range", sb.Defect, sb.Oracle)
 	}
 	if sb.Observed < int(solver.ResUnknown) || sb.Observed > int(solver.ResTimeout) {
@@ -449,6 +481,13 @@ func (r *Result) Fingerprint() []byte {
 		InvalidInputs:          r.InvalidInputs,
 		Timeouts:               r.Timeouts,
 		Quarantined:            r.Quarantined,
+		OracleVotes:            r.OracleVotes,
+		OracleConsensus:        r.OracleConsensus,
+		OracleAbstained:        r.OracleAbstained,
+		SutOutvoted:            r.SutOutvoted,
+		MetamorphicPairs:       r.MetamorphicPairs,
+		MetamorphicSkips:       r.MetamorphicSkips,
+		SutViolations:          r.SutViolations,
 		Backends:               r.Backends,
 		BackendFindings:        r.BackendFindings,
 	}
@@ -488,6 +527,16 @@ type savedState struct {
 	Timeouts               int `json:"timeouts,omitempty"`
 	Quarantined            int `json:"quarantined,omitempty"`
 
+	// Consensus-oracle tallies, mirroring the Result fields. omitempty
+	// keeps known-policy documents byte-identical to pre-consensus ones.
+	OracleVotes      int `json:"oracle_votes,omitempty"`
+	OracleConsensus  int `json:"oracle_consensus,omitempty"`
+	OracleAbstained  int `json:"oracle_abstained,omitempty"`
+	SutOutvoted      int `json:"sut_outvoted,omitempty"`
+	MetamorphicPairs int `json:"metamorphic_pairs,omitempty"`
+	MetamorphicSkips int `json:"metamorphic_skips,omitempty"`
+	SutViolations    int `json:"sut_violations,omitempty"`
+
 	Bugs            []savedBug       `json:"bugs,omitempty"`
 	Backends        []BackendReport  `json:"backends,omitempty"`
 	BackendFindings []BackendFinding `json:"backend_findings,omitempty"`
@@ -507,6 +556,13 @@ func captureState(cfg Campaign, st *runState) savedState {
 		InvalidInputs:          res.InvalidInputs,
 		Timeouts:               res.Timeouts,
 		Quarantined:            res.Quarantined,
+		OracleVotes:            res.OracleVotes,
+		OracleConsensus:        res.OracleConsensus,
+		OracleAbstained:        res.OracleAbstained,
+		SutOutvoted:            res.SutOutvoted,
+		MetamorphicPairs:       res.MetamorphicPairs,
+		MetamorphicSkips:       res.MetamorphicSkips,
+		SutViolations:          res.SutViolations,
 		Backends:               append([]BackendReport(nil), res.Backends...),
 		BackendFindings:        append([]BackendFinding(nil), res.BackendFindings...),
 	}
@@ -536,6 +592,13 @@ func restoreState(cfg Campaign, s savedState) (*runState, error) {
 	res.InvalidInputs = s.InvalidInputs
 	res.Timeouts = s.Timeouts
 	res.Quarantined = s.Quarantined
+	res.OracleVotes = s.OracleVotes
+	res.OracleConsensus = s.OracleConsensus
+	res.OracleAbstained = s.OracleAbstained
+	res.SutOutvoted = s.SutOutvoted
+	res.MetamorphicPairs = s.MetamorphicPairs
+	res.MetamorphicSkips = s.MetamorphicSkips
+	res.SutViolations = s.SutViolations
 	for i, sb := range s.Bugs {
 		b, err := bugFromSaved(sb)
 		if err != nil {
@@ -549,7 +612,7 @@ func restoreState(cfg Campaign, s savedState) (*runState, error) {
 	}
 	res.Backends = append(res.Backends[:0], s.Backends...)
 	res.BackendFindings = append([]BackendFinding(nil), s.BackendFindings...)
-	nameIdx := map[string]int{}
+	nameIdx := map[string]int{"sut": -1}
 	for i, spec := range cfg.Backends {
 		nameIdx[spec.Name] = i
 	}
@@ -597,6 +660,11 @@ func validateState(cc CampaignConfig, s savedState, done int) error {
 		{"reference_disagreements", s.ReferenceDisagreements},
 		{"invalid_inputs", s.InvalidInputs}, {"timeouts", s.Timeouts},
 		{"quarantined", s.Quarantined},
+		{"oracle_votes", s.OracleVotes}, {"oracle_consensus", s.OracleConsensus},
+		{"oracle_abstained", s.OracleAbstained}, {"sut_outvoted", s.SutOutvoted},
+		{"metamorphic_pairs", s.MetamorphicPairs},
+		{"metamorphic_skips", s.MetamorphicSkips},
+		{"sut_violations", s.SutViolations},
 	} {
 		if n.v < 0 {
 			return fmt.Errorf("negative %s count %d", n.name, n.v)
@@ -605,6 +673,14 @@ func validateState(cc CampaignConfig, s savedState, done int) error {
 	if s.Tests+s.InvalidInputs+s.Quarantined > done {
 		return fmt.Errorf("counts (%d tests + %d invalid + %d quarantined) exceed frontier %d",
 			s.Tests, s.InvalidInputs, s.Quarantined, done)
+	}
+	if s.OracleConsensus+s.OracleAbstained > s.Tests {
+		return fmt.Errorf("majority votes (%d consensus + %d abstained) exceed %d tests",
+			s.OracleConsensus, s.OracleAbstained, s.Tests)
+	}
+	if s.MetamorphicPairs+s.MetamorphicSkips > s.Tests {
+		return fmt.Errorf("metamorphic pairs (%d + %d skips) exceed %d tests",
+			s.MetamorphicPairs, s.MetamorphicSkips, s.Tests)
 	}
 	logicOK := map[string]bool{}
 	for _, l := range d.Logics {
@@ -647,7 +723,9 @@ func validateState(cc CampaignConfig, s savedState, done int) error {
 	if len(s.Backends) != len(names) {
 		return fmt.Errorf("%d backend reports for %d configured backends", len(s.Backends), len(names))
 	}
-	nameOK := map[string]bool{}
+	// The SUT's pseudo-voter name is always a valid finding attribution
+	// under the consensus policies.
+	nameOK := map[string]bool{"sut": true}
 	for i, rep := range s.Backends {
 		if rep.Name != names[i] {
 			return fmt.Errorf("backends[%d]: report for %q, config has %q", i, rep.Name, names[i])

@@ -108,6 +108,35 @@ const (
 	// ModeBoth interleaves fusion (even iterations) and mutation (odd
 	// iterations) within each logic's task stream.
 	ModeBoth CampaignMode = "both"
+	// ModeWild mutates single seeds with the polarity constraint
+	// removed: the derived test's satisfiability is unknown by
+	// construction, so the known-status oracle abstains and only the
+	// consensus policies (majority, metamorphic) can judge it.
+	ModeWild CampaignMode = "wild"
+)
+
+// OraclePolicy selects how tested tasks are judged. The known-status
+// oracle always applies where it can; the consensus policies add
+// coverage for tasks whose ground truth no generator constructed
+// (oracle "unknown" — wild mutants), where the known-status oracle
+// abstains.
+type OraclePolicy string
+
+const (
+	// OracleKnown judges only against constructed ground truth
+	// (default). Unknown-status tasks pass through unjudged.
+	OracleKnown OraclePolicy = "known"
+	// OracleMajority folds all definite verdicts per unknown-status
+	// task — the SUT's and every backend's — and attributes a
+	// MajorityDisagreement finding to each outvoted voter, subject to
+	// Campaign.Quorum.
+	OracleMajority OraclePolicy = "majority"
+	// OracleMetamorphic derives a variant with a known sat/unsat-
+	// preserving relation for each unknown-status task and flags any
+	// solver whose verdict pair violates the relation against itself.
+	OracleMetamorphic OraclePolicy = "metamorphic"
+	// OracleAuto runs both consensus policies on unknown-status tasks.
+	OracleAuto OraclePolicy = "auto"
 )
 
 // Campaign configures one fuzzing run (Algorithm 1 plus seed-pool
@@ -123,8 +152,19 @@ type Campaign struct {
 	Seed     int64
 	Threads  int // ≤ 1 = single-threaded
 	// Mode selects the test-derivation strategy: fusion (default),
-	// mutate, or both (interleaved by iteration parity).
+	// mutate, both (interleaved by iteration parity), or wild
+	// (unknown-status mutation for the consensus oracles).
 	Mode CampaignMode
+	// Oracle selects the verdict-judging policy: known (default),
+	// majority, metamorphic, or auto. The consensus policies act only
+	// on unknown-status tasks; known-status classification is
+	// unaffected by the choice.
+	Oracle OraclePolicy
+	// Quorum is the minimum number of definite votes (SUT plus
+	// backends) the majority policy needs before calling a consensus;
+	// with fewer votes, or a tie, the task is counted abstained. 0
+	// defaults to 2.
+	Quorum int
 	// DisableModelCheck turns off the model-validation oracle, which
 	// otherwise evaluates every sat model against the input script.
 	DisableModelCheck bool
@@ -189,6 +229,12 @@ func (c Campaign) withDefaults() Campaign {
 	if c.Mode == "" {
 		c.Mode = ModeFusion
 	}
+	if c.Oracle == "" {
+		c.Oracle = OracleKnown
+	}
+	if c.Quorum == 0 {
+		c.Quorum = 2
+	}
 	return c
 }
 
@@ -221,10 +267,29 @@ type Result struct {
 	// backend, in Campaign.Backends order.
 	Backends []BackendReport
 	// BackendFindings lists the deduplicated cross-check observations:
-	// verdict disagreements and contained backend failures. They are
-	// kept apart from Bugs — they implicate a backend solver, not a
-	// catalogued defect of the SUT.
+	// verdict disagreements, contained backend failures, and consensus-
+	// oracle findings. They are kept apart from Bugs — they implicate a
+	// specific solver (a backend, or the SUT as the "sut" pseudo-voter),
+	// not only a catalogued defect of the SUT.
 	BackendFindings []BackendFinding
+
+	// Majority-policy tallies (unknown-status tasks only). OracleVotes
+	// sums the definite votes cast; each judged task counts once under
+	// either OracleConsensus or OracleAbstained; SutOutvoted counts the
+	// SUT's outvoted verdicts, re-triggers included (the per-backend
+	// analogue lives in BackendReport.Outvoted).
+	OracleVotes     int
+	OracleConsensus int
+	OracleAbstained int
+	SutOutvoted     int
+	// Metamorphic-policy tallies. MetamorphicPairs counts tasks with a
+	// derived variant pair; MetamorphicSkips counts unknown-status tasks
+	// where no relation-preserving variant could be derived;
+	// SutViolations counts the SUT's pair-relation violations,
+	// re-triggers included (per-backend: BackendReport.Violations).
+	MetamorphicPairs int
+	MetamorphicSkips int
+	SutViolations    int
 }
 
 // BugByDefect returns the bug for a defect, if found.
@@ -247,6 +312,7 @@ func (r *Result) BugByDefect(d solver.Defect) (Bug, bool) {
 const (
 	seedDomainPool uint64 = 0x706f6f6c // "pool"
 	seedDomainTask uint64 = 0x7461736b // "task"
+	seedDomainMeta uint64 = 0x6d657461 // "meta" — metamorphic variant derivation
 )
 
 func mix64(x uint64) uint64 {
@@ -288,6 +354,22 @@ func taskSeed(seed int64, logic gen.Logic, iter int) int64 {
 	return int64(mix64(mix64(h) + uint64(iter)*0x9e3779b97f4a7c15))
 }
 
+// metaSeed keys the RNG of a task's metamorphic variant derivation — a
+// separate domain, so arming the metamorphic policy never perturbs the
+// task's own stream (the primary test stays byte-identical to a
+// known-policy run of the same configuration).
+func metaSeed(seed int64, logic gen.Logic, iter int) int64 {
+	h := uint64(seed) ^ hashName(string(logic)) ^ seedDomainMeta
+	return int64(mix64(mix64(h) + uint64(iter)*0x9e3779b97f4a7c15))
+}
+
+// isMutationTask reports whether a task derives by (single-seed)
+// mutation rather than fusion — a pure function of (Mode, iter), shared
+// by the family scheduler and the task runner.
+func isMutationTask(mode CampaignMode, iter int) bool {
+	return mode == ModeMutate || mode == ModeWild || (mode == ModeBoth && iter%2 == 1)
+}
+
 // familyKey identifies the seed family of a task: two tasks are in the
 // same family exactly when they derive their tests from the same
 // seed(s) of the same logic. The scheduler batches a family onto one
@@ -313,7 +395,7 @@ func familyOf(cfg Campaign, id int) familyKey {
 	if rng.Intn(2) == 1 {
 		k.oracle = core.StatusUnsat
 	}
-	k.mutation = cfg.Mode == ModeMutate || (cfg.Mode == ModeBoth && iter%2 == 1)
+	k.mutation = isMutationTask(cfg.Mode, iter)
 	// Mirror seedPool.pick's draws: one Intn(SeedPool) per picked seed.
 	k.s1 = rng.Intn(cfg.SeedPool)
 	if !k.mutation {
@@ -363,6 +445,25 @@ type taskOutcome struct {
 	// backend (nil when the task was not tested, was quarantined, or
 	// the campaign has no backends).
 	backendRuns []backend.Output
+	// Metamorphic-policy fields (unknown-status tasks under the
+	// metamorphic or auto policy only). variantSkip marks a task where
+	// no relation-preserving variant could be derived; otherwise
+	// variant/variantRun/variantBackends mirror the primary triple.
+	variant         *mutate.Variant
+	variantRun      RunResult
+	variantBackends []backend.Output
+	variantSkip     bool
+	// consensus is the majority policy's per-task annotation ("sat",
+	// "unsat", or "abstained"), written by the classification stage and
+	// read by the trace recorder.
+	consensus string
+}
+
+// quarantined reports whether the task is withdrawn from all
+// classification: a watchdog cut-off or an internal fault of our own
+// solver on either the primary or the variant solve.
+func (o *taskOutcome) quarantined() bool {
+	return o.wallTimeout || o.run.InternalFault || o.variantRun.InternalFault
 }
 
 // testScript is the script that was handed to the solver under test.
@@ -437,12 +538,20 @@ func Run(cfg Campaign) (*Result, error) {
 // already carry its defaults.
 func validateCampaign(cfg Campaign) error {
 	switch cfg.Mode {
-	case ModeFusion, ModeMutate, ModeBoth:
+	case ModeFusion, ModeMutate, ModeBoth, ModeWild:
 	default:
 		return fmt.Errorf("harness: unknown campaign mode %q", cfg.Mode)
 	}
 	if cfg.ConcatOnly && cfg.Mode != ModeFusion {
 		return fmt.Errorf("harness: ConcatOnly requires fusion mode, got %q", cfg.Mode)
+	}
+	switch cfg.Oracle {
+	case OracleKnown, OracleMajority, OracleMetamorphic, OracleAuto:
+	default:
+		return fmt.Errorf("harness: unknown oracle policy %q", cfg.Oracle)
+	}
+	if cfg.Quorum < 0 {
+		return fmt.Errorf("harness: negative quorum %d", cfg.Quorum)
 	}
 	return validateBackends(cfg.Backends)
 }
@@ -700,7 +809,7 @@ func runLeg(cfg Campaign, include []int, st *runState, ctl runControls) (bool, e
 			delete(pending, include[idx])
 			idx++
 			prev := countsOf(st.res)
-			applyOutcome(st.res, st.found, cfg, st.aw, st.bt, cur)
+			applyOutcome(st.res, st.found, cfg, st.aw, st.bt, &cur)
 			rec.task(cfg, cur, prev, st.res)
 			st.done++
 			if ctl.progress != nil {
@@ -759,9 +868,18 @@ func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, bks []bac
 	}
 	pool := pools[logicIdx]
 	out := taskOutcome{id: id}
-	if cfg.Mode == ModeMutate || (cfg.Mode == ModeBoth && iter%2 == 1) {
+	if isMutationTask(cfg.Mode, iter) {
 		s1 := pool.pick(oracle, rng)
-		mut, err := mutate.Mutate(s1, rng, mutate.Options{})
+		var mut *mutate.Mutant
+		var err error
+		if cfg.Mode == ModeWild {
+			// Wild mutation leaves the polarity-soundness envelope: the
+			// oracle coin and pool pick above replay identically, but the
+			// derived test's ground truth is unknown by construction.
+			mut, err = mutate.Wild(s1, rng, mutate.Options{})
+		} else {
+			mut, err = mutate.Mutate(s1, rng, mutate.Options{})
+		}
 		if err != nil {
 			// A seed with no applicable mutation site is a skip, not a
 			// defect; a lost witness or gate rejection is a mutation-engine
@@ -812,10 +930,44 @@ func runTaskInner(cfg Campaign, pools []*seedPool, sut *solver.Solver, bks []bac
 	if !out.run.InternalFault {
 		out.backendRuns = runBackends(bks, script)
 	}
+	// Metamorphic leg: an unknown-status test has no ground truth to
+	// check against, so derive a relation-preserving variant and solve it
+	// on the same worker. The variant's randomness comes from its own
+	// seed domain — reordering or disabling the policy never perturbs
+	// the primary task stream.
+	if (cfg.Oracle == OracleMetamorphic || cfg.Oracle == OracleAuto) &&
+		out.oracle() == core.StatusUnknown && !out.run.InternalFault {
+		vrng := rand.New(rand.NewSource(metaSeed(cfg.Seed, logic, iter)))
+		v, err := mutate.DeriveVariant(script, vrng, mutate.Options{})
+		if err != nil {
+			// No relation-preserving site (or the gate rejected the
+			// variant): the pair is skipped, never charged as a finding.
+			out.variantSkip = true
+			return out
+		}
+		out.variant = v
+		if cfg.WallTimeout > 0 {
+			completed := watchdog.Run(cfg.WallTimeout, func() {
+				out.variantRun = RunSolver(sut, v.Script)
+			})
+			if !completed {
+				// Same taint rule as the primary solve: the abandoned
+				// goroutine owns out.variantRun, so rebuild the outcome
+				// from the untouched fields.
+				return taskOutcome{id: id, tested: true, fused: out.fused,
+					mutant: out.mutant, ancestors: out.ancestors, wallTimeout: true}
+			}
+		} else {
+			out.variantRun = RunSolver(sut, v.Script)
+		}
+		if !out.variantRun.InternalFault {
+			out.variantBackends = runBackends(bks, v.Script)
+		}
+	}
 	return out
 }
 
-func applyOutcome(res *Result, found map[solver.Defect]int, cfg Campaign, aw *artifactWriter, bt *backendTriage, out taskOutcome) {
+func applyOutcome(res *Result, found map[solver.Defect]int, cfg Campaign, aw *artifactWriter, bt *backendTriage, out *taskOutcome) {
 	if out.invalid {
 		res.InvalidInputs++
 		return
@@ -824,27 +976,34 @@ func applyOutcome(res *Result, found map[solver.Defect]int, cfg Campaign, aw *ar
 		return // no fusable pair: skip
 	}
 	// Quarantine before classification: a watchdog cut-off or an
-	// internal fault of our own solver is never a finding. The campaign
+	// internal fault of our own solver — on either the primary or the
+	// metamorphic-variant solve — is never a finding. The campaign
 	// continues; the offending input is preserved for debugging.
-	if out.wallTimeout || out.run.InternalFault {
+	if out.quarantined() {
 		res.Quarantined++
 		if aw != nil {
-			m := manifestFor(cfg, out, "quarantine", "")
-			if out.wallTimeout {
+			m := manifestFor(cfg, *out, "quarantine", "")
+			switch {
+			case out.wallTimeout:
 				m.Observed = "wall-timeout"
 				m.Reason = "wall-clock watchdog expired"
-			} else {
+			case out.run.InternalFault:
 				m.Observed = "internal-fault"
 				m.FaultMsg = out.run.FaultMsg
 				m.FaultStack = out.run.FaultStack
+			default:
+				m.Observed = "internal-fault"
+				m.FaultMsg = out.variantRun.FaultMsg
+				m.FaultStack = out.variantRun.FaultStack
 			}
 			aw.write(m, out.ancestors, out.testScript(), out.id)
 		}
 		return
 	}
 	res.Tests++
-	classify(res, found, cfg, aw, out)
-	classifyBackends(res, cfg, aw, bt, out)
+	classify(res, found, cfg, aw, *out)
+	classifyBackends(res, cfg, aw, bt, *out)
+	classifyConsensus(res, cfg, aw, bt, out)
 }
 
 // manifestFor assembles the replay coordinates of one task outcome.
@@ -954,7 +1113,7 @@ func classify(res *Result, found map[solver.Defect]int, cfg Campaign, aw *artifa
 		if _, ok := primaryDefect(run.DefectsFired, bugdb.Performance); ok {
 			record(bugdb.Performance)
 		}
-	case (run.Result == solver.ResSat) != (oracle == core.StatusSat):
+	case verdictContradicts(run.Result, oracle):
 		record(bugdb.Soundness)
 	case run.Result == solver.ResSat && !cfg.DisableModelCheck:
 		// The verdict agrees with the oracle, but the reported witness
@@ -964,6 +1123,24 @@ func classify(res *Result, found map[solver.Defect]int, cfg Campaign, aw *artifa
 			out.run.Reason = reason // surfaced in the reproducer manifest
 			record(bugdb.InvalidModel)
 		}
+	}
+}
+
+// verdictContradicts reports whether a SUT verdict refutes the ground
+// truth. Only a definite verdict on a definite oracle can contradict:
+// an unknown-status test (wild mutation) has nothing to refute, so it
+// abstains rather than being treated as implicitly unsat. The earlier
+// predicate `(res == ResSat) != (oracle == StatusSat)` collapsed
+// StatusUnknown into the unsat arm and charged every sat verdict on an
+// unknown-status input as a soundness bug.
+func verdictContradicts(res solver.Result, oracle core.Status) bool {
+	switch oracle {
+	case core.StatusSat:
+		return res == solver.ResUnsat
+	case core.StatusUnsat:
+		return res == solver.ResSat
+	default:
+		return false
 	}
 }
 

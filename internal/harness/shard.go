@@ -157,6 +157,15 @@ func Merge(envs []*Envelope, artifactDir string) (*Merged, error) {
 		res.InvalidInputs += e.State.InvalidInputs
 		res.Timeouts += e.State.Timeouts
 		res.Quarantined += e.State.Quarantined
+		// Consensus tallies are per-occurrence (never deduped), so plain
+		// summation reproduces the single-run values exactly.
+		res.OracleVotes += e.State.OracleVotes
+		res.OracleConsensus += e.State.OracleConsensus
+		res.OracleAbstained += e.State.OracleAbstained
+		res.SutOutvoted += e.State.SutOutvoted
+		res.MetamorphicPairs += e.State.MetamorphicPairs
+		res.MetamorphicSkips += e.State.MetamorphicSkips
+		res.SutViolations += e.State.SutViolations
 	}
 
 	bugs, duplicates, err := mergeBugs(byShard)
@@ -228,11 +237,10 @@ func mergeBugs(byShard []*Envelope) ([]Bug, int, error) {
 // mergeBackends sums the per-backend report tallies and re-folds the
 // finding dedup the same way mergeBugs does: per dedup key, the
 // observation with the globally earliest task wins, and the merged
-// findings are ordered as classification would have emitted them —
-// by task, then backend index.
+// findings are ordered as classification would have emitted them.
 func mergeBackends(res *Result, d CampaignConfig, byShard []*Envelope) error {
 	names := d.backendNames()
-	nameIdx := map[string]int{}
+	nameIdx := map[string]int{"sut": -1}
 	for i, n := range names {
 		nameIdx[n] = i
 	}
@@ -253,40 +261,57 @@ func mergeBackends(res *Result, d CampaignConfig, byShard []*Envelope) error {
 			dst.Faults += rep.Faults
 			dst.Retries += rep.Retries
 			dst.Disagreements += rep.Disagreements
+			dst.Outvoted += rep.Outvoted
+			dst.Violations += rep.Violations
 			dst.Quarantined = dst.Quarantined || rep.Quarantined
 		}
 	}
-	best := map[bkKey]BackendFinding{}
+	// Two passes. First the globally earliest trigger task per dedup
+	// key; then the survivors, collected in per-shard envelope order and
+	// stable-sorted by task alone. All of one task's findings live in a
+	// single shard's envelope, already in classification's per-task
+	// emission order (known-status by backend index, then majority, then
+	// metamorphic — an order no single sort key reproduces), so the
+	// stable sort interleaves tasks without disturbing it.
+	best := map[bkKey]int{}
 	for _, e := range byShard {
 		for _, f := range e.State.BackendFindings {
 			key := findingKey(nameIdx[f.Backend], f) // backend validated by envelope decode
-			if cur, ok := best[key]; !ok || f.Task < cur.Task {
-				best[key] = f
+			if t, ok := best[key]; !ok || f.Task < t {
+				best[key] = f.Task
 			}
 		}
 	}
-	for _, f := range best {
-		res.BackendFindings = append(res.BackendFindings, f)
-	}
-	sort.Slice(res.BackendFindings, func(i, j int) bool {
-		a, b := res.BackendFindings[i], res.BackendFindings[j]
-		if a.Task != b.Task {
-			return a.Task < b.Task
+	for _, e := range byShard {
+		for _, f := range e.State.BackendFindings {
+			if best[findingKey(nameIdx[f.Backend], f)] == f.Task {
+				res.BackendFindings = append(res.BackendFindings, f)
+			}
 		}
-		return nameIdx[a.Backend] < nameIdx[b.Backend]
+	}
+	sort.SliceStable(res.BackendFindings, func(i, j int) bool {
+		return res.BackendFindings[i].Task < res.BackendFindings[j].Task
 	})
 	return nil
 }
 
-// findingKey rebuilds classifyBackends' dedup key from a recorded
-// finding: the oracle participates only for disagreements (a hang or
-// garble is the same failure whatever the expected status).
+// findingKey rebuilds the classification dedup key from a recorded
+// finding: the oracle participates only for the disagreement-shaped
+// kinds (a hang or garble is the same failure whatever the expected
+// status, but an outvoted verdict or pair violation is a distinct
+// observation per reference it contradicts).
 func findingKey(backendIdx int, f BackendFinding) bkKey {
 	key := bkKey{backendIdx: backendIdx, kind: f.Kind, observed: f.Observed}
-	if f.Kind == bugdb.Disagreement {
+	if oracleKeyed(f.Kind) {
 		key.oracle = f.Oracle
 	}
 	return key
+}
+
+// oracleKeyed lists the finding kinds whose dedup key includes the
+// contradicted reference.
+func oracleKeyed(kind bugdb.BugType) bool {
+	return kind == bugdb.Disagreement || kind == bugdb.MajorityDisagreement || kind == bugdb.MetamorphicViolation
 }
 
 // mergeArtifacts re-folds the bundle dedup. A shard writes a bundle at
@@ -305,7 +330,7 @@ func mergeArtifacts(res *Result, byShard []*Envelope, dstDir string) error {
 	findingTask := map[fkey]int{}
 	for _, f := range res.BackendFindings {
 		k := fkey{backend: f.Backend, kind: string(f.Kind), observed: f.Observed}
-		if f.Kind == bugdb.Disagreement {
+		if oracleKeyed(f.Kind) {
 			k.oracle = f.Oracle
 		}
 		findingTask[k] = f.Task
@@ -314,7 +339,7 @@ func mergeArtifacts(res *Result, byShard []*Envelope, dstDir string) error {
 		switch {
 		case strings.HasPrefix(r.BugType, "backend-"):
 			k := fkey{backend: r.Backend, kind: strings.TrimPrefix(r.BugType, "backend-"), observed: r.Observed}
-			if bugdb.BugType(k.kind) == bugdb.Disagreement {
+			if oracleKeyed(bugdb.BugType(k.kind)) {
 				k.oracle = r.Oracle
 			}
 			t, ok := findingTask[k]

@@ -40,8 +40,12 @@ var (
 		telemetry.ExpBuckets(1000, 10, 6))
 )
 
-// TraceSchema versions the JSONL trace record layout.
-const TraceSchema = 1
+// TraceSchema versions the JSONL trace record layout. Schema 2 added
+// the consensus-oracle fields (oracle_policy, consensus, meta_relation,
+// variant_observed, variant_backends), all omitted on known-policy
+// campaigns — but any schema bump is a hard break for readers, so the
+// version is bumped rather than silently extended.
+const TraceSchema = 2
 
 // TraceRecord is one line of the campaign's JSONL event trace: the
 // task's RNG coordinates (the same campaign_seed/logic/iteration triple
@@ -94,6 +98,17 @@ type TraceRecord struct {
 	// verdict for this task (tested tasks with backends only). Map keys
 	// render sorted, so the byte stream stays deterministic.
 	Backends map[string]string `json:"backends,omitempty"`
+
+	// Consensus-oracle fields (schema 2; non-known policies only).
+	// OraclePolicy names the active policy; Consensus is the majority
+	// vote's outcome for this task ("sat", "unsat", or "abstained");
+	// MetaRelation/VariantObserved/VariantBackends describe the
+	// metamorphic pair when one was derived.
+	OraclePolicy    string            `json:"oracle_policy,omitempty"`
+	Consensus       string            `json:"consensus,omitempty"`
+	MetaRelation    string            `json:"meta_relation,omitempty"`
+	VariantObserved string            `json:"variant_observed,omitempty"`
+	VariantBackends map[string]string `json:"variant_backends,omitempty"`
 }
 
 // ReadTrace parses a JSONL trace file written via Campaign.Trace.
@@ -141,6 +156,10 @@ type resCounts struct {
 	bkChecks, bkSkipped, bkTimeouts, bkCrashes int
 	bkGarbled, bkFaults, bkRetries, bkDisagree int
 	bkFindings                                 int
+	// Consensus-oracle aggregates. oOutvoted and oViolations fold the
+	// SUT's tallies together with the per-backend ones.
+	oVotes, oConsensus, oAbstained, oOutvoted int
+	oPairs, oPairSkips, oViolations           int
 }
 
 func countsOf(r *Result) resCounts {
@@ -149,6 +168,10 @@ func countsOf(r *Result) resCounts {
 		quarantined: r.Quarantined, invalid: r.InvalidInputs,
 		duplicates: r.Duplicates, refDisagree: r.ReferenceDisagreements,
 		bugs: len(r.Bugs), bkFindings: len(r.BackendFindings),
+		oVotes: r.OracleVotes, oConsensus: r.OracleConsensus,
+		oAbstained: r.OracleAbstained, oOutvoted: r.SutOutvoted,
+		oPairs: r.MetamorphicPairs, oPairSkips: r.MetamorphicSkips,
+		oViolations: r.SutViolations,
 	}
 	for _, b := range r.Backends {
 		c.bkChecks += b.Checks
@@ -159,6 +182,8 @@ func countsOf(r *Result) resCounts {
 		c.bkFaults += b.Faults
 		c.bkRetries += b.Retries
 		c.bkDisagree += b.Disagreements
+		c.oOutvoted += b.Outvoted
+		c.oViolations += b.Violations
 	}
 	return c
 }
@@ -236,6 +261,13 @@ func (rc *recorder) task(cfg Campaign, out taskOutcome, prev resCounts, res *Res
 	rc.tr.Add(cbRetries, int64(cur.bkRetries-prev.bkRetries))
 	rc.tr.Add(cbDisagree, int64(cur.bkDisagree-prev.bkDisagree))
 	rc.tr.Add(cbFindings, int64(cur.bkFindings-prev.bkFindings))
+	rc.tr.Add(coVotes, int64(cur.oVotes-prev.oVotes))
+	rc.tr.Add(coConsensus, int64(cur.oConsensus-prev.oConsensus))
+	rc.tr.Add(coAbstained, int64(cur.oAbstained-prev.oAbstained))
+	rc.tr.Add(coOutvoted, int64(cur.oOutvoted-prev.oOutvoted))
+	rc.tr.Add(coPairs, int64(cur.oPairs-prev.oPairs))
+	rc.tr.Add(coPairSkips, int64(cur.oPairSkips-prev.oPairSkips))
+	rc.tr.Add(coViolation, int64(cur.oViolations-prev.oViolations))
 	if cur.tests > prev.tests {
 		rc.tr.Observe(hTaskFuel, fuelSpent)
 	}
@@ -267,13 +299,17 @@ func (rc *recorder) task(cfg Campaign, out taskOutcome, prev resCounts, res *Res
 		rec.Status = "invalid"
 	case !out.tested:
 		rec.Status = "skipped"
-	case out.wallTimeout || out.run.InternalFault:
+	case out.quarantined():
 		rec.Status = "quarantined"
-		if out.wallTimeout {
+		switch {
+		case out.wallTimeout:
 			rec.Observed = "wall-timeout"
-		} else {
+		case out.run.InternalFault:
 			rec.Observed = "internal-fault"
 			rec.Reason = out.run.FaultMsg
+		default:
+			rec.Observed = "internal-fault"
+			rec.Reason = out.variantRun.FaultMsg
 		}
 	default:
 		rec.Status = "tested"
@@ -298,6 +334,21 @@ func (rc *recorder) task(cfg Campaign, out taskOutcome, prev resCounts, res *Res
 			rec.Backends = make(map[string]string, len(out.backendRuns))
 			for i, o := range out.backendRuns {
 				rec.Backends[cfg.Backends[i].Name] = o.Verdict.String()
+			}
+		}
+		if cfg.Oracle != "" && cfg.Oracle != OracleKnown {
+			rec.OraclePolicy = string(cfg.Oracle)
+			rec.Consensus = out.consensus
+			if out.variant != nil {
+				rec.MetaRelation = out.variant.Rel.String()
+				vLabel, _, _ := sutStatus(out.variantRun)
+				rec.VariantObserved = vLabel
+				if len(out.variantBackends) > 0 {
+					rec.VariantBackends = make(map[string]string, len(out.variantBackends))
+					for i, o := range out.variantBackends {
+						rec.VariantBackends[cfg.Backends[i].Name] = o.Verdict.String()
+					}
+				}
 			}
 		}
 	}

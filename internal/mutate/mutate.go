@@ -167,18 +167,23 @@ func applicable(kind Kind, pol int8, status core.Status) bool {
 }
 
 // site addresses one applicable (node, rule) pair: the assert index,
-// the node's pre-order position within that assert, and the rule.
+// the node's pre-order position within that assert, the rule, and the
+// position's polarity at collection time.
 type site struct {
 	assert int
 	node   int
 	rule   int
+	pol    int8
 }
 
-// collect enumerates every applicable site over the asserts, walking
-// each assert pre-order with polarity tracking. Node numbering counts
-// every term node (in the same order rebuild revisits them), so a site
-// survives as a stable coordinate.
-func collect(asserts []ast.Term, status core.Status) []site {
+// collectWith enumerates every (node, rule) pair admitted by keep over
+// the asserts, walking each assert pre-order with polarity tracking.
+// Node numbering counts every term node (in the same order rebuild
+// revisits them), so a site survives as a stable coordinate. Every
+// caller shares this one enumeration order: the admission predicate
+// only filters, so tightening or loosening it never perturbs the
+// coordinates (or the RNG stream shape) of the sites that remain.
+func collectWith(asserts []ast.Term, keep func(Kind, int8) bool) []site {
 	var sites []site
 	for ai, a := range asserts {
 		n := 0
@@ -186,13 +191,20 @@ func collect(asserts []ast.Term, status core.Status) []site {
 			// n has not been advanced past this node yet, so it is the
 			// node's own pre-order index.
 			for ri, r := range Rules {
-				if r.Match(app) && applicable(r.Kind, pol, status) {
-					sites = append(sites, site{assert: ai, node: n, rule: ri})
+				if r.Match(app) && keep(r.Kind, pol) {
+					sites = append(sites, site{assert: ai, node: n, rule: ri, pol: pol})
 				}
 			}
 		}, &n)
 	}
 	return sites
+}
+
+// collect enumerates every status-preserving site over the asserts.
+func collect(asserts []ast.Term, status core.Status) []site {
+	return collectWith(asserts, func(kind Kind, pol int8) bool {
+		return applicable(kind, pol, status)
+	})
 }
 
 // walkPolarity visits every node of t pre-order. visit runs on App
@@ -321,4 +333,146 @@ func Mutate(seed *core.Seed, rng *rand.Rand, opts Options) (*Mutant, error) {
 		return nil, err
 	}
 	return &Mutant{Script: script, Seed: seed, Oracle: seed.Status, Rules: applied}, nil
+}
+
+// Wild derives a mutant with no oracle: every (node, rule) match is a
+// candidate site regardless of polarity or the seed's status, so the
+// result's satisfiability is unknown by construction. This is the
+// unknown-status input source for the consensus oracles — the mutant
+// deliberately leaves the polarity-soundness envelope, and with it the
+// known-status oracle. No witness check applies (there is no status to
+// preserve); the static analysis gate still runs so wild mutants stay
+// well-formed campaign inputs.
+func Wild(seed *core.Seed, rng *rand.Rand, opts Options) (*Mutant, error) {
+	maxMut := opts.MaxMutations
+	if maxMut <= 0 {
+		maxMut = 2
+	}
+	asserts := append([]ast.Term(nil), seed.Script.Asserts()...)
+	k := 1 + rng.Intn(maxMut)
+	var applied []string
+	for round := 0; round < k; round++ {
+		sites := collectWith(asserts, func(Kind, int8) bool { return true })
+		if len(sites) == 0 {
+			break
+		}
+		c := sites[rng.Intn(len(sites))]
+		n := 0
+		asserts[c.assert] = rebuild(asserts[c.assert], c.node, Rules[c.rule], &n)
+		applied = append(applied, Rules[c.rule].Name)
+	}
+	if len(applied) == 0 {
+		return nil, ErrNoMutationSite
+	}
+	script := smtlib.NewScript(seed.Script.Logic(), seed.Script.Declarations(), asserts)
+	if err := analysis.Gate(script, nil); err != nil {
+		return nil, err
+	}
+	return &Mutant{Script: script, Seed: seed, Oracle: core.StatusUnknown, Rules: applied}, nil
+}
+
+// Relation classifies how a metamorphic variant relates to its
+// original. The relation is known by construction even when the
+// original's satisfiability is not — which is exactly what makes the
+// pair an oracle for unknown-status inputs.
+type Relation int8
+
+const (
+	// RelEquivalent: original ⇔ variant; any verdict disagreement
+	// between the two is a violation.
+	RelEquivalent Relation = iota
+	// RelWeakened: original ⇒ variant, so a sat original forces a sat
+	// variant (sat-preserving).
+	RelWeakened
+	// RelStrengthened: variant ⇒ original, so a sat variant forces a
+	// sat original — equivalently an unsat original forces an unsat
+	// variant (unsat-preserving).
+	RelStrengthened
+)
+
+func (r Relation) String() string {
+	switch r {
+	case RelEquivalent:
+		return "equivalent"
+	case RelWeakened:
+		return "weakened"
+	default:
+		return "strengthened"
+	}
+}
+
+// Variant is one metamorphic derivation: the rewritten script, its
+// relation to the original, and the applied rule names in order.
+type Variant struct {
+	Script *smtlib.Script
+	Rel    Relation
+	Rules  []string
+}
+
+// stepRelation gives the original→variant relation of applying a rule
+// of the given kind at a position of the given polarity. ok is false
+// at positions of unknown monotonicity, where only equivalences have a
+// defined relation.
+func stepRelation(kind Kind, pol int8) (rel Relation, ok bool) {
+	switch kind {
+	case Equivalence:
+		return RelEquivalent, true
+	case Weaken:
+		switch pol {
+		case +1:
+			return RelWeakened, true
+		case -1:
+			return RelStrengthened, true
+		}
+	default: // Strengthen
+		switch pol {
+		case +1:
+			return RelStrengthened, true
+		case -1:
+			return RelWeakened, true
+		}
+	}
+	return RelEquivalent, false
+}
+
+// DeriveVariant builds a metamorphic counterpart of script: a variant
+// whose satisfiability relation to the original is known by
+// construction. Directional steps compose only with equivalences or
+// steps of the same direction (weakened∘strengthened has no defined
+// relation), so the first directional rewrite fixes the pair's
+// direction. Returns ErrNoMutationSite when no relation-preserving
+// rewrite applies anywhere.
+func DeriveVariant(script *smtlib.Script, rng *rand.Rand, opts Options) (*Variant, error) {
+	maxMut := opts.MaxMutations
+	if maxMut <= 0 {
+		maxMut = 2
+	}
+	asserts := append([]ast.Term(nil), script.Asserts()...)
+	k := 1 + rng.Intn(maxMut)
+	rel := RelEquivalent
+	var applied []string
+	for round := 0; round < k; round++ {
+		sites := collectWith(asserts, func(kind Kind, pol int8) bool {
+			r, ok := stepRelation(kind, pol)
+			return ok && (r == RelEquivalent || rel == RelEquivalent || r == rel)
+		})
+		if len(sites) == 0 {
+			break
+		}
+		c := sites[rng.Intn(len(sites))]
+		n := 0
+		asserts[c.assert] = rebuild(asserts[c.assert], c.node, Rules[c.rule], &n)
+		applied = append(applied, Rules[c.rule].Name)
+		if r, _ := stepRelation(Rules[c.rule].Kind, c.pol); r != RelEquivalent {
+			rel = r
+		}
+	}
+	if len(applied) == 0 {
+		return nil, ErrNoMutationSite
+	}
+	v := smtlib.NewScript(script.Logic(), script.Declarations(), asserts)
+	if err := analysis.Gate(v, nil); err != nil {
+		return nil, err
+	}
+	return &Variant{Script: v, Rel: rel, Rules: applied}, nil
 }

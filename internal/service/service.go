@@ -127,6 +127,10 @@ type Server struct {
 	order  []string // submission order, for stable listings
 	nextID int
 	spool  string
+	// retain caps how many terminal (done/failed) jobs keep their spool
+	// directories; 0 keeps everything. Non-terminal jobs are never
+	// collected — see gc.
+	retain int
 
 	wg sync.WaitGroup
 }

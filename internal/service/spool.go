@@ -41,8 +41,20 @@ type jobStatus struct {
 
 // New creates a server. spool of "" keeps jobs in memory only;
 // otherwise jobs persist under the directory and reload on restart.
+// Every spooled job is retained forever; use NewWithRetention to cap
+// the terminal-job history.
 func New(spool string) (*Server, error) {
-	s := &Server{jobs: map[string]*Job{}, spool: spool}
+	return NewWithRetention(spool, 0)
+}
+
+// NewWithRetention creates a server whose spool keeps at most retain
+// terminal (done or failed) jobs — older terminal jobs are garbage-
+// collected from disk and from the listing as new ones land. retain 0
+// keeps everything. Jobs that are running, pausing, or paused are
+// never collected, whatever their age: a paused job's checkpoint is
+// the only copy of its frontier.
+func NewWithRetention(spool string, retain int) (*Server, error) {
+	s := &Server{jobs: map[string]*Job{}, spool: spool, retain: retain}
 	if spool == "" {
 		return s, nil
 	}
@@ -52,7 +64,55 @@ func New(spool string) (*Server, error) {
 	if err := s.reload(); err != nil {
 		return nil, err
 	}
+	// Reload marks mid-leg casualties failed, which can push the
+	// terminal count over the cap — collect before serving.
+	s.gc()
 	return s, nil
+}
+
+// gc enforces the retention policy: when retain > 0, only the newest
+// retain terminal jobs (by submission order) keep their spool
+// directories. Non-terminal jobs do not count against the cap and are
+// never deleted.
+func (s *Server) gc() {
+	if s.spool == "" || s.retain <= 0 {
+		return
+	}
+	s.mu.Lock()
+	var terminal []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		if st == StateDone || st == StateFailed {
+			terminal = append(terminal, id)
+		}
+	}
+	var evict []string
+	if n := len(terminal) - s.retain; n > 0 {
+		evict = terminal[:n]
+	}
+	if len(evict) > 0 {
+		evicted := map[string]bool{}
+		for _, id := range evict {
+			evicted[id] = true
+			delete(s.jobs, id)
+		}
+		keep := s.order[:0]
+		for _, id := range s.order {
+			if !evicted[id] {
+				keep = append(keep, id)
+			}
+		}
+		s.order = keep
+	}
+	s.mu.Unlock()
+	for _, id := range evict {
+		// Best-effort: a directory that survives a failed remove is
+		// re-collected at the next gc or reload.
+		os.RemoveAll(filepath.Join(s.spool, id))
+	}
 }
 
 func (s *Server) jobDir(j *Job) string {
@@ -143,6 +203,9 @@ func (s *Server) persistOutcome(j *Job) {
 		return
 	}
 	s.persistStatus(j)
+	if state == StateDone || state == StateFailed {
+		s.gc()
+	}
 }
 
 // spoolFailed marks a job failed because its durable record could not
@@ -154,6 +217,7 @@ func (s *Server) spoolFailed(j *Job, err error) {
 	j.touch()
 	j.mu.Unlock()
 	s.persistStatus(j) // best-effort; the spool may still be broken
+	s.gc()
 }
 
 func writeFileAtomic(path string, data []byte) error {
